@@ -1,0 +1,66 @@
+//! Criterion bench: chain-CRF primitives — objective+gradient
+//! evaluation (the unit of L-BFGS training), posterior extraction, and
+//! Viterbi decoding, at order 1 and order 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphner_crf::{ChainCrf, Order, SentenceFeatures};
+use graphner_text::BioTag;
+
+fn synthetic_data(
+    n_sentences: usize,
+    len: usize,
+    num_obs: usize,
+    feats_per_tok: usize,
+    seed: u64,
+) -> Vec<SentenceFeatures> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n_sentences)
+        .map(|_| {
+            let obs = (0..len)
+                .map(|_| (0..feats_per_tok).map(|_| (next() % num_obs as u64) as u32).collect())
+                .collect();
+            let gold = (0..len)
+                .map(|_| BioTag::from_index((next() % 3) as usize))
+                .collect();
+            SentenceFeatures { obs, gold: Some(gold) }
+        })
+        .collect()
+}
+
+fn bench_crf(c: &mut Criterion) {
+    let num_obs = 5_000;
+    let data = synthetic_data(500, 20, num_obs, 30, 11);
+    let mut group = c.benchmark_group("crf");
+    group.sample_size(10);
+    for order in [Order::One, Order::Two] {
+        let mut crf = ChainCrf::new(order, num_obs);
+        let params: Vec<f64> =
+            (0..crf.num_params()).map(|i| ((i % 17) as f64 - 8.0) * 0.01).collect();
+        crf.set_params(params);
+        let label = format!("{order:?}");
+        let mut grad = vec![0.0; crf.num_params()];
+        group.bench_with_input(
+            BenchmarkId::new("objective_gradient", &label),
+            &label,
+            |b, _| b.iter(|| crf.objective(&data, 1.0, &mut grad)),
+        );
+        group.bench_with_input(BenchmarkId::new("posteriors", &label), &label, |b, _| {
+            b.iter(|| {
+                data.iter().take(50).map(|s| crf.posteriors(s).len()).sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("viterbi", &label), &label, |b, _| {
+            b.iter(|| data.iter().take(50).map(|s| crf.viterbi(s).len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crf);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: PMI vertex-vector construction and the full graph
+//! build from a synthetic corpus — the feature-extraction half of the
+//! paper's O(Nf + V²FK) graph-construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphner_graph::{knn_inverted_index, VertexFeatureCounts};
+
+fn synthetic_counts(num_vertices: u32, feats_per_vertex: usize, num_features: u32, seed: u64) -> VertexFeatureCounts {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut counts = VertexFeatureCounts::new();
+    for v in 0..num_vertices {
+        for _ in 0..feats_per_vertex {
+            counts.add(v, (next() % num_features as u64) as u32, 1.0 + (next() % 3) as f64);
+        }
+    }
+    counts
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for &n in &[2_000u32, 10_000] {
+        let counts = synthetic_counts(n, 40, n * 4, 3);
+        group.bench_with_input(BenchmarkId::new("pmi_vectors", n), &n, |b, &n| {
+            b.iter(|| counts.pmi_vectors(n as usize))
+        });
+        let vectors = counts.pmi_vectors(n as usize);
+        group.bench_with_input(BenchmarkId::new("knn_from_pmi", n), &n, |b, _| {
+            b.iter(|| knn_inverted_index(&vectors, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench: graph propagation (equation 2) as a function of
+//! vertex count, degree, and iteration count — the O(V·K·#iterations)
+//! cost the paper's complexity analysis predicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphner_graph::{propagate, KnnGraph, LabelDist, PropagationParams};
+
+fn random_graph(n: usize, k: usize, seed: u64) -> KnnGraph {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let adj = (0..n)
+        .map(|i| {
+            (0..k)
+                .map(|_| {
+                    let mut nb = (next() % n as u64) as u32;
+                    if nb as usize == i {
+                        nb = (nb + 1) % n as u32;
+                    }
+                    (nb, (next() % 1000) as f32 / 1000.0)
+                })
+                .collect()
+        })
+        .collect();
+    KnnGraph::from_adjacency(adj, k)
+}
+
+fn setup(n: usize, k: usize) -> (KnnGraph, Vec<LabelDist>, Vec<Option<LabelDist>>) {
+    let g = random_graph(n, k, 7);
+    let x = vec![[1.0 / 3.0; 3]; n];
+    let x_ref: Vec<Option<LabelDist>> = (0..n)
+        .map(|i| if i % 3 == 0 { Some([0.8, 0.1, 0.1]) } else { None })
+        .collect();
+    (g, x, x_ref)
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let (g, x0, x_ref) = setup(n, 10);
+        group.bench_with_input(BenchmarkId::new("V", n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = x0.clone();
+                propagate(
+                    &g,
+                    &mut x,
+                    &x_ref,
+                    &PropagationParams { mu: 1e-6, nu: 1e-6, iterations: 3, self_anchor: 0.5 },
+                );
+                x
+            })
+        });
+    }
+    let (g, x0, x_ref) = setup(10_000, 10);
+    for &iters in &[1usize, 3, 10] {
+        group.bench_with_input(BenchmarkId::new("iterations", iters), &iters, |b, &it| {
+            b.iter(|| {
+                let mut x = x0.clone();
+                propagate(&g, &mut x, &x_ref, &PropagationParams {
+                    mu: 1e-6,
+                    nu: 1e-6,
+                    iterations: it,
+                    self_anchor: 0.5,
+                });
+                x
+            })
+        });
+    }
+    for &k in &[5usize, 10, 20] {
+        let (g, x0, x_ref) = setup(10_000, k);
+        group.bench_with_input(BenchmarkId::new("K", k), &k, |b, _| {
+            b.iter(|| {
+                let mut x = x0.clone();
+                propagate(&g, &mut x, &x_ref, &PropagationParams {
+                    mu: 1e-6,
+                    nu: 1e-6,
+                    iterations: 3,
+                    self_anchor: 0.5,
+                });
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §III-D — statistics of the all-features graphs for both corpora:
+//! vertex counts, labelled / positively-labelled percentages, degrees,
+//! and weak connectivity.
+//!
+//! The paper's shape: comparable vertex counts, high labelled
+//! percentage (transductive setting), low positive percentage — much
+//! lower for AML than BC2GM — out-degree exactly K, weakly connected.
+
+use graphner_bench::{run_corpus_comparison, RunOptions};
+use graphner_corpusgen::{generate, CorpusProfile};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    println!("\n=== Graph statistics (section III-D, scale {}) ===", opts.scale);
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "Corpus", "vertices", "edges", "%labelled", "%positive", "components", "largest comp."
+    );
+    for profile in [CorpusProfile::bc2gm(), CorpusProfile::aml()] {
+        let corpus = generate(&profile.scaled(opts.scale));
+        let run = run_corpus_comparison(&corpus, &opts);
+        let stats = &run.graphner_outputs[0].stats;
+        println!(
+            "{:<8} {:>10} {:>10} {:>12.1} {:>12.2} {:>12} {:>14}",
+            corpus.profile.name,
+            stats.num_vertices,
+            stats.num_edges,
+            stats.pct_labelled * 100.0,
+            stats.pct_positive * 100.0,
+            stats.components,
+            stats.largest_component
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures.
+//!
+//! Every binary in `src/bin/` drives the same pipeline: generate a
+//! synthetic corpus (BC2GM or AML profile), train the baselines (BANNER,
+//! BANNER-ChemDNER, optionally LSTM-CRF), run GraphNER on top of each
+//! CRF baseline, score everything with the BC2 evaluator, and print the
+//! table rows. Corpora default to a scaled-down size so a run finishes
+//! in minutes; pass `--full` for paper-sized corpora or `--scale <f>`
+//! for anything in between.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,113 @@
+//! GraphNER hyper-parameters (Table IV of the paper).
+
+use graphner_graph::PropagationParams;
+
+/// Vertex-representation choice for graph construction (Table III).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphFeatureSet {
+    /// All features extracted by the base tagger at the centre token.
+    All,
+    /// Only lemmas of the words in a window of length 5.
+    Lexical,
+    /// Features whose mutual information with the tag assigned by the
+    /// base CRF exceeds the threshold.
+    MiThreshold(f64),
+}
+
+impl GraphFeatureSet {
+    /// Display name matching Table III.
+    pub fn name(&self) -> String {
+        match self {
+            GraphFeatureSet::All => "All-features".to_string(),
+            GraphFeatureSet::Lexical => "Lexical-features".to_string(),
+            GraphFeatureSet::MiThreshold(t) => format!("MI > {t}"),
+        }
+    }
+}
+
+/// Full GraphNER configuration: the interpolation weight α, the
+/// propagation hyper-parameters (μ, ν, #iterations), the graph degree
+/// K, and the vertex representation.
+#[derive(Clone, Debug)]
+pub struct GraphNerConfig {
+    /// Interpolation weight on the CRF posterior in
+    /// `α·P_s(S,i) + (1−α)·X(w₋₁,w,w₊₁)`. "Smaller α values were
+    /// consistently preferred in our cross validations."
+    pub alpha: f64,
+    /// Graph-propagation parameters (μ, ν, #iterations).
+    pub propagation: PropagationParams,
+    /// Graph out-degree K (nearest neighbours kept per vertex).
+    pub k: usize,
+    /// Vertex representation for graph construction.
+    pub feature_set: GraphFeatureSet,
+    /// Tempering exponent on the decode's transition factors
+    /// `(P(y'|y)/P(y'))^τ`. The node beliefs entering the final Viterbi
+    /// are posterior-like but carry floors from the propagation's
+    /// uniform term, so the full sequence prior (τ = 1) over-amplifies
+    /// rare-tag continuations (`B → I`); τ = 0.5 keeps the structural
+    /// constraints (`O → I` stays impossible) while damping the
+    /// amplification — mirroring the mild behaviour of the unnormalized
+    /// MALLET transition potentials the original implementation
+    /// extracts.
+    pub trans_power: f64,
+}
+
+impl Default for GraphNerConfig {
+    fn default() -> GraphNerConfig {
+        // Table IV: (α, μ, ν, #iterations) = (0.02, 1e-6, 1e-6, 2–3),
+        // K = 10, All-features.
+        GraphNerConfig {
+            alpha: 0.02,
+            propagation: PropagationParams { mu: 1e-6, nu: 1e-6, iterations: 3, self_anchor: 0.5 },
+            k: 10,
+            feature_set: GraphFeatureSet::All,
+            trans_power: 0.5,
+        }
+    }
+}
+
+impl GraphNerConfig {
+    /// The cross-validated configuration the paper reports for a given
+    /// corpus/base-model pair (Table IV).
+    pub fn table_iv(corpus: &str, chemdner: bool) -> GraphNerConfig {
+        let iterations = match (corpus, chemdner) {
+            ("BC2GM", true) => 3,
+            _ => 2,
+        };
+        GraphNerConfig {
+            alpha: 0.02,
+            propagation: PropagationParams { mu: 1e-6, nu: 1e-6, iterations, self_anchor: 0.5 },
+            k: 10,
+            feature_set: GraphFeatureSet::All,
+            trans_power: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let c = GraphNerConfig::default();
+        assert_eq!(c.alpha, 0.02);
+        assert_eq!(c.propagation.mu, 1e-6);
+        assert_eq!(c.propagation.nu, 1e-6);
+        assert_eq!(c.k, 10);
+    }
+
+    #[test]
+    fn table_iv_lookup() {
+        assert_eq!(GraphNerConfig::table_iv("BC2GM", true).propagation.iterations, 3);
+        assert_eq!(GraphNerConfig::table_iv("BC2GM", false).propagation.iterations, 2);
+        assert_eq!(GraphNerConfig::table_iv("AML", true).propagation.iterations, 2);
+    }
+
+    #[test]
+    fn feature_set_names() {
+        assert_eq!(GraphFeatureSet::All.name(), "All-features");
+        assert_eq!(GraphFeatureSet::Lexical.name(), "Lexical-features");
+        assert_eq!(GraphFeatureSet::MiThreshold(0.01).name(), "MI > 0.01");
+    }
+}

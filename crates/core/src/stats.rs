@@ -1,0 +1,118 @@
+//! Graph statistics (§III-D of the paper).
+//!
+//! The paper characterizes its all-feature graphs by vertex count,
+//! percentage of labelled vertices, percentage of *positively* labelled
+//! vertices (appeared as B or I in the train set), weak connectivity,
+//! and the influence/influencee histograms of Figure 3.
+
+use graphner_graph::{histogram, Histogram, KnnGraph, LabelDist};
+use graphner_text::BioTag;
+
+/// Statistics of one constructed similarity graph.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Number of vertices (unique 3-grams of `D_l ∪ D_u`).
+    pub num_vertices: usize,
+    /// Number of directed edges (≈ `K · V`).
+    pub num_edges: usize,
+    /// Fraction of vertices with a reference distribution (`V_l`).
+    pub pct_labelled: f64,
+    /// Fraction of vertices whose reference distribution puts mass on B
+    /// or I.
+    pub pct_positive: f64,
+    /// Number of weakly connected components.
+    pub components: usize,
+    /// Size of the largest weakly connected component.
+    pub largest_component: usize,
+    /// `Influence(v)` per vertex.
+    pub influence: Vec<f64>,
+    /// `|Influencees(v)|` per vertex.
+    pub influencees: Vec<u32>,
+}
+
+impl GraphStats {
+    /// Compute all statistics for a graph with its labelled-vertex
+    /// reference distributions.
+    pub fn compute(graph: &KnnGraph, x_ref: &[Option<LabelDist>]) -> GraphStats {
+        let n = graph.num_vertices();
+        assert_eq!(x_ref.len(), n);
+        let labelled = x_ref.iter().filter(|r| r.is_some()).count();
+        let positive = x_ref
+            .iter()
+            .filter(|r| {
+                r.is_some_and(|d| {
+                    d[BioTag::B.index()] > 0.0 || d[BioTag::I.index()] > 0.0
+                })
+            })
+            .count();
+        GraphStats {
+            num_vertices: n,
+            num_edges: graph.num_edges(),
+            pct_labelled: if n == 0 { 0.0 } else { labelled as f64 / n as f64 },
+            pct_positive: if n == 0 { 0.0 } else { positive as f64 / n as f64 },
+            components: graph.weakly_connected_components(),
+            largest_component: graph.largest_component_size(),
+            influence: graph.influence(),
+            influencees: graph.influencees(),
+        }
+    }
+
+    /// Histogram of `Influence(v)` (left panel of Figure 3).
+    pub fn influence_histogram(&self, bins: usize) -> Histogram {
+        histogram(&self.influence, bins)
+    }
+
+    /// Histogram of `|Influencees(v)|` (right panel of Figure 3).
+    pub fn influencees_histogram(&self, bins: usize) -> Histogram {
+        let vals: Vec<f64> = self.influencees.iter().map(|&c| c as f64).collect();
+        histogram(&vals, bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_basic_stats() {
+        let g = KnnGraph::from_adjacency(
+            vec![vec![(1, 0.9)], vec![(0, 0.9)], vec![(0, 0.5)]],
+            1,
+        );
+        let x_ref = vec![Some([1.0, 0.0, 0.0]), Some([0.0, 0.0, 1.0]), None];
+        let s = GraphStats::compute(&g, &x_ref);
+        assert_eq!(s.num_vertices, 3);
+        assert_eq!(s.num_edges, 3);
+        assert!((s.pct_labelled - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.pct_positive - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.largest_component, 3);
+    }
+
+    #[test]
+    fn histograms_cover_all_vertices() {
+        let g = KnnGraph::from_adjacency(
+            vec![vec![(1, 0.9)], vec![(2, 0.8)], vec![(0, 0.7)], vec![(0, 0.6)]],
+            1,
+        );
+        let x_ref = vec![None; 4];
+        let s = GraphStats::compute(&g, &x_ref);
+        let h = s.influence_histogram(5);
+        assert_eq!(h.counts.iter().sum::<usize>(), 4);
+        let h2 = s.influencees_histogram(5);
+        assert_eq!(h2.counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn most_vertices_have_low_influence() {
+        // a hub graph: everyone points at vertex 0
+        let adj: Vec<Vec<(u32, f32)>> =
+            (0..20).map(|i| if i == 0 { vec![(1, 0.5)] } else { vec![(0, 0.9)] }).collect();
+        let g = KnnGraph::from_adjacency(adj, 1);
+        let s = GraphStats::compute(&g, &vec![None; 20]);
+        let h = s.influence_histogram(10);
+        // the first bin (low influence) holds nearly everything, as in
+        // the paper's Figure 3
+        assert!(h.counts[0] >= 18);
+    }
+}

@@ -1,0 +1,52 @@
+//! Stage wall-times of the test procedure, for the Fig. 2 cost
+//! experiments.
+
+/// Per-stage wall seconds of [`crate::GraphNer::test`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TestTimings {
+    /// Line 5: CRF posterior extraction over `D_l ∪ D_u`.
+    pub posterior_seconds: f64,
+    /// Graph construction (feature vectors + k-NN).
+    pub graph_seconds: f64,
+    /// Line 6: posterior averaging over vertices.
+    pub average_seconds: f64,
+    /// Line 7: graph propagation.
+    pub propagate_seconds: f64,
+    /// Lines 8–9: combination and Viterbi decode.
+    pub decode_seconds: f64,
+}
+
+impl TestTimings {
+    /// Total test time.
+    pub fn total(&self) -> f64 {
+        self.posterior_seconds
+            + self.graph_seconds
+            + self.average_seconds
+            + self.propagate_seconds
+            + self.decode_seconds
+    }
+
+    /// GraphNER's *added* cost over the plain CRF test run — everything
+    /// except the posterior extraction the CRF would do anyway.
+    pub fn added_over_crf(&self) -> f64 {
+        self.total() - self.posterior_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = TestTimings {
+            posterior_seconds: 1.0,
+            graph_seconds: 2.0,
+            average_seconds: 0.5,
+            propagate_seconds: 0.25,
+            decode_seconds: 0.25,
+        };
+        assert!((t.total() - 4.0).abs() < 1e-12);
+        assert!((t.added_over_crf() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,378 @@
+//! Synthetic gene nomenclature and supporting vocabularies.
+//!
+//! The corpora the paper evaluates on cannot be redistributed here, so
+//! the generator builds a gene nomenclature with the properties the
+//! paper's analysis depends on:
+//!
+//! * HGNC-like *symbols* (`TP53`-style) — the AML corpus "preferentially
+//!   use\[s\] a gene nomenclature maintained by HGNC";
+//! * *multiword descriptive names* with orthographic variants
+//!   (`wilms tumor - 1` / `wilms tumour 1`) — the BC2GM corpus mixes "a
+//!   variety of notation styles", and these variants both populate the
+//!   ALTGENE alternatives and give graph propagation its purchase
+//!   (Figure 1's `[tumor - 1]` vertex);
+//! * *gene families* and *protein domains* — gene-related surface forms
+//!   that are not gold mentions, the paper's "gene-related" FP category;
+//! * *spurious entities* ("Ann Arbor") — capitalized non-gene phrases
+//!   that an imperfect tagger confuses with genes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rustc_hash::FxHashSet;
+
+/// A multiword gene with orthographic variants and an abbreviation.
+#[derive(Clone, Debug)]
+pub struct MultiwordGene {
+    /// Canonical token sequence, e.g. `["wilms", "tumor", "-", "1"]`.
+    pub primary: Vec<String>,
+    /// Acceptable variant token sequences (fuel for ALTGENE
+    /// alternatives and for notation diversity in text).
+    pub variants: Vec<Vec<String>>,
+    /// Short symbol, e.g. `WT1`.
+    pub symbol: String,
+}
+
+/// The complete synthetic nomenclature.
+#[derive(Clone, Debug)]
+pub struct GeneLexicon {
+    /// Single-token HGNC-like symbols.
+    pub symbols: Vec<String>,
+    /// Lowercase common-noun gene names ("insulin"-style): no
+    /// orthographic cue separates them from ordinary nouns, so a tagger
+    /// can only learn them by identity — the recall-limited class of
+    /// real gene-mention corpora.
+    pub lowercase: Vec<String>,
+    /// Multiword descriptive names.
+    pub multiword: Vec<MultiwordGene>,
+    /// Gene families (gene-related, never gold).
+    pub families: Vec<Vec<String>>,
+    /// Protein domains (gene-related, never gold).
+    pub domains: Vec<Vec<String>>,
+    /// Spurious capitalized entities (never gene-related).
+    pub spurious: Vec<Vec<String>>,
+    /// Every gene-related surface form, lowercased, for the §III-E
+    /// categorization oracle.
+    gene_related_forms: FxHashSet<String>,
+}
+
+const SURNAMES: [&str; 24] = [
+    "wilms", "hodgkin", "crohn", "marten", "kellar", "burkit", "vanteg", "rosler", "duval",
+    "hartwig", "lomen", "pritch", "ashmor", "corvin", "deller", "fenwick", "garrod", "helmut",
+    "ivers", "jarnek", "kestrel", "lindqvist", "morvan", "norden",
+];
+
+const GENE_NOUNS: [&str; 10] = [
+    "tumor", "factor", "receptor", "kinase", "protein", "antigen", "ligand", "channel",
+    "transporter", "adaptor",
+];
+
+const FAMILY_HEADS: [&str; 8] = [
+    "ubiquitin", "ligase", "protease", "phosphatase", "helicase", "synthase", "oxidase",
+    "reductase",
+];
+
+const DOMAIN_NAMES: [&str; 6] = ["SH2", "SH3", "PDZ", "RING", "WD40", "PH"];
+
+const PLACES: [(&str, &str); 10] = [
+    ("Ann", "Arbor"),
+    ("New", "Haven"),
+    ("Fort", "Collins"),
+    ("Grand", "Rapids"),
+    ("Cedar", "Falls"),
+    ("Oak", "Ridge"),
+    ("Palo", "Alto"),
+    ("Baton", "Rouge"),
+    ("Sioux", "Falls"),
+    ("Santa", "Cruz"),
+];
+
+/// How many distinct nomenclature styles the corpus mixes. The BC2GM
+/// profile uses all three ("gene names may be used inconsistently with
+/// a variety of notation styles"); AML uses only the standardized
+/// symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NomenclatureStyle {
+    /// HGNC symbols only (AML profile).
+    Standardized,
+    /// Symbols, multiword names, and variant spellings (BC2GM profile).
+    Mixed,
+}
+
+impl GeneLexicon {
+    /// Generate a lexicon with `num_symbols` symbol genes and
+    /// `num_multiword` multiword genes, deterministically from `rng`.
+    pub fn generate(rng: &mut ChaCha8Rng, num_symbols: usize, num_multiword: usize) -> GeneLexicon {
+        let mut seen = FxHashSet::default();
+        let mut symbols = Vec::with_capacity(num_symbols);
+        while symbols.len() < num_symbols {
+            let s = random_symbol(rng);
+            if seen.insert(s.clone()) {
+                symbols.push(s);
+            }
+        }
+        // open-class spurious "site/sample codes": capitalized
+        // letter+digit tokens that share the orthographic shape of gene
+        // symbols but never name genes. They are the synthetic analogue
+        // of the arbitrary identifiers real abstracts are full of, and
+        // the raw material of the "Ann Arbor" spurious-FP category: a
+        // tagger can only tell them from genes by corpus-level identity,
+        // which is exactly the evidence graph propagation aggregates.
+        let mut lowercase = Vec::with_capacity(num_symbols / 3);
+        while lowercase.len() < num_symbols / 3 {
+            let w = random_lowercase_gene(rng);
+            if seen.insert(w.clone()) {
+                lowercase.push(w);
+            }
+        }
+        let n_codes = (num_symbols / 6).max(10);
+        let mut site_codes = Vec::with_capacity(n_codes);
+        while site_codes.len() < n_codes {
+            let c = random_site_code(rng);
+            if seen.insert(c.clone()) {
+                site_codes.push(c);
+            }
+        }
+
+        let mut multiword = Vec::with_capacity(num_multiword);
+        let mut used_pairs = FxHashSet::default();
+        while multiword.len() < num_multiword {
+            let surname = *SURNAMES.choose(rng).unwrap();
+            let noun = *GENE_NOUNS.choose(rng).unwrap();
+            let num = rng.gen_range(1..=9u32);
+            if !used_pairs.insert((surname, noun, num)) {
+                continue;
+            }
+            let primary: Vec<String> =
+                [surname, noun, "-", &num.to_string()].iter().map(|s| s.to_string()).collect();
+            let mut variants = vec![
+                // without the hyphen: "wilms tumor 1"
+                vec![surname.to_string(), noun.to_string(), num.to_string()],
+                // british-ish spelling variant of the noun
+                vec![surname.to_string(), variant_noun(noun), "-".to_string(), num.to_string()],
+                // head only: "wilms tumor"
+                vec![surname.to_string(), noun.to_string()],
+            ];
+            variants.dedup();
+            let symbol = format!(
+                "{}{}{}",
+                surname.chars().next().unwrap().to_uppercase(),
+                noun.chars().next().unwrap().to_uppercase(),
+                num
+            );
+            multiword.push(MultiwordGene { primary, variants, symbol });
+        }
+
+        let families: Vec<Vec<String>> = FAMILY_HEADS
+            .iter()
+            .map(|h| vec![format!("E{}", rng.gen_range(1..=4)), h.to_string()])
+            .collect();
+        let domains: Vec<Vec<String>> = DOMAIN_NAMES
+            .iter()
+            .map(|d| vec![d.to_string(), "domain".to_string()])
+            .collect();
+        let mut spurious: Vec<Vec<String>> = PLACES
+            .iter()
+            .map(|(a, b)| vec![a.to_string(), b.to_string()])
+            .collect();
+        // "Table 3" / "Figure 2" style tokens: capitalized + digit, the
+        // shape a gene tagger over-triggers on
+        for head in ["Table", "Figure", "Cohort", "Panel"] {
+            spurious.push(vec![head.to_string(), rng.gen_range(1..=9u32).to_string()]);
+        }
+        // clinical-code tokens that share the uppercase-plus-digit shape
+        // of gene symbols exactly (ICD9, NCT417, CTCAE4, ...)
+        for code in ["ICD9", "ICD10", "CTCAE4", "WHO2016", "NCCN2", "ECOG1"] {
+            spurious.push(vec![code.to_string()]);
+        }
+        let mut seen_codes = FxHashSet::default();
+        while seen_codes.len() < 8 {
+            let code = format!(
+                "NCT{}{}{}",
+                rng.gen_range(1..=9u32),
+                rng.gen_range(0..=9u32),
+                rng.gen_range(0..=9u32)
+            );
+            if seen_codes.insert(code.clone()) {
+                spurious.push(vec![code]);
+            }
+        }
+        for c in &site_codes {
+            spurious.push(vec![c.clone()]);
+        }
+        // shuffle so the train/test partition prefix mixes all spurious
+        // kinds rather than leaving one whole family unseen
+        spurious.shuffle(rng);
+
+        let mut gene_related_forms = FxHashSet::default();
+        for s in symbols.iter().chain(lowercase.iter()) {
+            gene_related_forms.insert(s.to_lowercase());
+        }
+        for m in &multiword {
+            gene_related_forms.insert(m.primary.join(" ").to_lowercase());
+            gene_related_forms.insert(m.symbol.to_lowercase());
+            for v in &m.variants {
+                gene_related_forms.insert(v.join(" ").to_lowercase());
+            }
+        }
+        for f in families.iter().chain(domains.iter()) {
+            gene_related_forms.insert(f.join(" ").to_lowercase());
+        }
+        // family/domain head tokens, so every "E<k> <head>" combination
+        // and fragments like "SH2" categorize as gene-related
+        for h in FAMILY_HEADS.iter().chain(DOMAIN_NAMES.iter()) {
+            gene_related_forms.insert(h.to_lowercase());
+        }
+        gene_related_forms.insert("domain".to_string());
+
+        GeneLexicon {
+            symbols,
+            lowercase,
+            multiword,
+            families,
+            domains,
+            spurious,
+            gene_related_forms,
+        }
+    }
+
+    /// Oracle for the §III-E categorization: does a surface form name a
+    /// gene, gene family, or protein domain? Single gene-name tokens
+    /// (e.g. a boundary-shifted fragment like `tumor`) also count as
+    /// gene-related, matching the paper's manual-review criterion.
+    pub fn is_gene_related(&self, text: &str) -> bool {
+        let lower = text.to_lowercase();
+        if self.gene_related_forms.contains(&lower) {
+            return true;
+        }
+        // any token of a known gene-related form
+        lower.split(' ').any(|tok| {
+            GENE_NOUNS.contains(&tok)
+                || SURNAMES.contains(&tok)
+                || self.gene_related_forms.contains(tok)
+        })
+    }
+}
+
+/// A random HGNC-like symbol: 2–4 uppercase letters then 0–2 digits.
+fn random_symbol(rng: &mut ChaCha8Rng) -> String {
+    const LETTERS: &[u8] = b"ABCDEFGHKLMNPRSTVWXZ";
+    let n_letters = rng.gen_range(2..=4usize);
+    let n_digits = rng.gen_range(0..=2usize);
+    let mut s = String::new();
+    for _ in 0..n_letters {
+        s.push(LETTERS[rng.gen_range(0..LETTERS.len())] as char);
+    }
+    for _ in 0..n_digits {
+        s.push(char::from_digit(rng.gen_range(0..10), 10).unwrap());
+    }
+    s
+}
+
+/// A random lowercase gene name: a pronounceable stem plus a
+/// biochemistry-flavoured suffix (-in, -ase, -gen, -ol).
+fn random_lowercase_gene(rng: &mut ChaCha8Rng) -> String {
+    const ONSETS: [&str; 12] =
+        ["gl", "v", "c", "tr", "br", "m", "s", "pl", "kr", "d", "fl", "n"];
+    const VOWELS: [&str; 5] = ["a", "e", "i", "o", "u"];
+    const MIDS: [&str; 8] = ["rg", "st", "nd", "lv", "mp", "rt", "ss", "ct"];
+    const SUFFIXES: [&str; 4] = ["in", "ase", "gen", "ol"];
+    format!(
+        "{}{}{}{}{}",
+        ONSETS[rng.gen_range(0..ONSETS.len())],
+        VOWELS[rng.gen_range(0..VOWELS.len())],
+        MIDS[rng.gen_range(0..MIDS.len())],
+        VOWELS[rng.gen_range(0..VOWELS.len())],
+        SUFFIXES[rng.gen_range(0..SUFFIXES.len())]
+    )
+}
+
+/// A random non-gene site/sample code, drawn from the *same* shape
+/// distribution as gene symbols so that orthography alone cannot
+/// separate the two classes — only corpus-level identity can, which is
+/// the disambiguation signal graph propagation aggregates.
+fn random_site_code(rng: &mut ChaCha8Rng) -> String {
+    random_symbol(rng)
+}
+
+fn variant_noun(noun: &str) -> String {
+    match noun {
+        "tumor" => "tumour".to_string(),
+        "factor" => "factors".to_string(),
+        "receptor" => "receptors".to_string(),
+        other => format!("{other}s"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn lex(seed: u64) -> GeneLexicon {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        GeneLexicon::generate(&mut rng, 50, 20)
+    }
+
+    #[test]
+    fn sizes_and_uniqueness() {
+        let l = lex(1);
+        assert_eq!(l.symbols.len(), 50);
+        assert_eq!(l.multiword.len(), 20);
+        let unique: FxHashSet<&String> = l.symbols.iter().collect();
+        assert_eq!(unique.len(), 50);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(lex(7).symbols, lex(7).symbols);
+        assert_ne!(lex(7).symbols, lex(8).symbols);
+    }
+
+    #[test]
+    fn symbols_look_like_hgnc() {
+        for s in &lex(2).symbols {
+            assert!(s.len() >= 2 && s.len() <= 6, "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            assert!(s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn multiword_variants_differ_from_primary() {
+        for m in &lex(3).multiword {
+            assert!(m.primary.len() >= 3);
+            for v in &m.variants {
+                assert_ne!(*v, m.primary);
+            }
+            assert!(!m.variants.is_empty());
+        }
+    }
+
+    #[test]
+    fn oracle_categorizes() {
+        let l = lex(4);
+        assert!(l.is_gene_related(&l.symbols[0]));
+        assert!(l.is_gene_related(&l.multiword[0].primary.join(" ")));
+        assert!(l.is_gene_related("E3 ubiquitin"));
+        assert!(l.is_gene_related("SH2 domain"));
+        assert!(!l.is_gene_related("Ann Arbor"));
+        assert!(!l.is_gene_related("Table 3"));
+        assert!(!l.is_gene_related("treatment outcome"));
+    }
+
+    #[test]
+    fn boundary_fragments_are_gene_related() {
+        let l = lex(5);
+        // a boundary-shifted fragment of a multiword gene
+        assert!(l.is_gene_related("wilms tumor"));
+        assert!(l.is_gene_related("tumor"));
+    }
+
+    #[test]
+    fn spurious_entities_are_capitalized() {
+        for sp in &lex(6).spurious {
+            assert!(sp[0].chars().next().unwrap().is_ascii_uppercase());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded synthetic biomedical corpora standing in for BC2GM and AML.
+//!
+//! The original corpora (BioCreative II gene mention; the 80-article
+//! acute-myeloid-leukemia collection) are not redistributable, so this
+//! crate generates corpora that preserve the statistics GraphNER's
+//! behaviour depends on: gene density, nomenclature heterogeneity,
+//! annotation-noise rate, alternative annotations, recurring 3-gram
+//! contexts across train and test, and a spurious-entity vocabulary for
+//! the qualitative error analysis. See `DESIGN.md` §1 for the full
+//! substitution argument.
+
+pub mod generator;
+pub mod lexicon;
+
+pub use generator::{generate, generate_unlabelled, CorpusProfile, GeneratedCorpus};
+pub use lexicon::{GeneLexicon, MultiwordGene, NomenclatureStyle};

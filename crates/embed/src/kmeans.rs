@@ -1,0 +1,190 @@
+//! k-means clustering over word embeddings.
+//!
+//! BANNER-ChemDNER turns continuous word2vec vectors into discrete CRF
+//! features by clustering them; a token then fires a
+//! `embedding-cluster=<id>` feature. Standard Lloyd iterations with
+//! k-means++ seeding, fully deterministic under the given seed.
+
+use crate::sgns::Embeddings;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rustc_hash::FxHashMap;
+
+/// k-means configuration.
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> KMeansConfig {
+        KMeansConfig { k: 32, max_iterations: 50, seed: 17 }
+    }
+}
+
+/// Result: word id → cluster id.
+#[derive(Clone, Debug, Default)]
+pub struct WordClusters {
+    /// Assignment per word id.
+    pub assignment: FxHashMap<u32, u32>,
+    /// Number of clusters actually used.
+    pub k: usize,
+}
+
+impl WordClusters {
+    /// Cluster of a word, if embedded.
+    pub fn get(&self, word: u32) -> Option<u32> {
+        self.assignment.get(&word).copied()
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (*x as f64 - y).powi(2)).sum()
+}
+
+/// Cluster the embedding vectors into `k` groups.
+pub fn kmeans(emb: &Embeddings, cfg: &KMeansConfig) -> WordClusters {
+    let mut words: Vec<u32> = emb.vectors.keys().copied().collect();
+    words.sort_unstable();
+    let n = words.len();
+    if n == 0 {
+        return WordClusters::default();
+    }
+    let k = cfg.k.min(n);
+    let dim = emb.dim;
+    let data: Vec<&[f32]> = words.iter().map(|w| emb.get(*w).unwrap()).collect();
+
+    // k-means++ seeding.
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..n);
+    centroids.push(data[first].iter().map(|&x| x as f64).collect());
+    let mut d2: Vec<f64> = data.iter().map(|v| sq_dist(v, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let r = rng.gen::<f64>() * total;
+            let mut acc = 0.0;
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                acc += d;
+                if acc >= r {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        let c: Vec<f64> = data[next].iter().map(|&x| x as f64).collect();
+        for (i, v) in data.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(v, &c));
+        }
+        centroids.push(c);
+    }
+
+    // Lloyd iterations.
+    let mut assign = vec![0u32; n];
+    for _ in 0..cfg.max_iterations {
+        let mut changed = false;
+        for (i, v) in data.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(v, &centroids[a]).partial_cmp(&sq_dist(v, &centroids[b])).unwrap()
+                })
+                .unwrap() as u32;
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in data.iter().enumerate() {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(v.iter()) {
+                *s += x as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = std::mem::take(&mut sums[c]);
+            }
+        }
+    }
+
+    WordClusters {
+        assignment: words.into_iter().zip(assign).collect(),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_embeddings() -> Embeddings {
+        // two obvious groups in 2-D
+        let mut vectors = FxHashMap::default();
+        vectors.insert(0, vec![0.0f32, 0.1]);
+        vectors.insert(1, vec![0.1, 0.0]);
+        vectors.insert(2, vec![0.05, 0.05]);
+        vectors.insert(3, vec![5.0, 5.1]);
+        vectors.insert(4, vec![5.1, 5.0]);
+        vectors.insert(5, vec![5.05, 5.05]);
+        Embeddings { dim: 2, vectors }
+    }
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let wc = kmeans(&toy_embeddings(), &KMeansConfig { k: 2, ..Default::default() });
+        assert_eq!(wc.k, 2);
+        let a = wc.get(0).unwrap();
+        assert_eq!(wc.get(1), Some(a));
+        assert_eq!(wc.get(2), Some(a));
+        let b = wc.get(3).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(wc.get(4), Some(b));
+        assert_eq!(wc.get(5), Some(b));
+    }
+
+    #[test]
+    fn k_capped_at_point_count() {
+        let wc = kmeans(&toy_embeddings(), &KMeansConfig { k: 100, ..Default::default() });
+        assert_eq!(wc.k, 6);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let emb = toy_embeddings();
+        let a = kmeans(&emb, &KMeansConfig { k: 3, seed: 5, ..Default::default() });
+        let b = kmeans(&emb, &KMeansConfig { k: 3, seed: 5, ..Default::default() });
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn empty_embeddings() {
+        let wc = kmeans(&Embeddings::default(), &KMeansConfig::default());
+        assert!(wc.assignment.is_empty());
+        assert_eq!(wc.k, 0);
+    }
+
+    #[test]
+    fn unknown_word_unassigned() {
+        let wc = kmeans(&toy_embeddings(), &KMeansConfig { k: 2, ..Default::default() });
+        assert_eq!(wc.get(77), None);
+    }
+}

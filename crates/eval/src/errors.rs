@@ -1,0 +1,144 @@
+//! Qualitative error analysis (section III-E of the paper).
+//!
+//! The authors manually categorized each false positive / false negative
+//! as *gene-related* (actual genes, gene families, protein domains) or
+//! *spurious* (annotations with no thematic relation to genes, e.g.
+//! "Ann Arbor"). With a synthetic corpus the generator knows the true
+//! category of every surface form, so the manual review is replaced by
+//! an oracle predicate supplied by the caller.
+
+use graphner_text::bc2::{AnnotationSet, Bc2Annotation};
+use rustc_hash::FxHashSet;
+
+/// Error category from the manual review.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Actual genes, gene families, or protein domains.
+    GeneRelated,
+    /// Entirely erroneous annotations unrelated to genes.
+    Spurious,
+}
+
+/// A categorized error call, hashable so it can feed UpSet regions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ErrorCall {
+    /// Sentence the call occurred in.
+    pub sentence_id: String,
+    /// Space-free character span of the call.
+    pub span: (usize, usize),
+    /// Gene-related or spurious.
+    pub category: Category,
+}
+
+/// The false positives of a system run, categorized by the oracle.
+///
+/// A detection is a false positive when it matches neither a primary
+/// gold span nor any alternative span of its sentence.
+pub fn false_positives(
+    system: &AnnotationSet,
+    gold: &AnnotationSet,
+    is_gene_related: impl Fn(&str) -> bool,
+) -> Vec<ErrorCall> {
+    let mut out = Vec::new();
+    for (id, dets) in &system.primary {
+        let empty = Vec::new();
+        let gold_spans: FxHashSet<(usize, usize)> = gold
+            .primary
+            .get(id)
+            .unwrap_or(&empty)
+            .iter()
+            .chain(gold.alternatives.get(id).unwrap_or(&empty))
+            .map(Bc2Annotation::span)
+            .collect();
+        for det in dets {
+            if !gold_spans.contains(&det.span()) {
+                out.push(ErrorCall {
+                    sentence_id: id.clone(),
+                    span: det.span(),
+                    category: if is_gene_related(&det.text) {
+                        Category::GeneRelated
+                    } else {
+                        Category::Spurious
+                    },
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.sentence_id, a.span).cmp(&(&b.sentence_id, b.span)));
+    out
+}
+
+/// Counts of gene-related vs spurious calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CategoryCounts {
+    /// Gene-related calls.
+    pub gene_related: usize,
+    /// Spurious calls.
+    pub spurious: usize,
+}
+
+impl CategoryCounts {
+    /// Tally a list of error calls.
+    pub fn tally(calls: &[ErrorCall]) -> CategoryCounts {
+        let gene_related =
+            calls.iter().filter(|c| c.category == Category::GeneRelated).count();
+        CategoryCounts { gene_related, spurious: calls.len() - gene_related }
+    }
+
+    /// Total calls.
+    pub fn total(&self) -> usize {
+        self.gene_related + self.spurious
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(id: &str, f: usize, l: usize, text: &str) -> Bc2Annotation {
+        Bc2Annotation { sentence_id: id.to_string(), first: f, last: l, text: text.to_string() }
+    }
+
+    #[test]
+    fn categorizes_false_positives() {
+        let mut gold = AnnotationSet::new();
+        gold.add_primary(ann("s1", 0, 2, "WT1"));
+        let mut sys = AnnotationSet::new();
+        sys.add_primary(ann("s1", 0, 2, "WT1")); // TP
+        sys.add_primary(ann("s1", 10, 20, "E3 ubiquitin")); // gene-related FP
+        sys.add_primary(ann("s1", 30, 37, "Ann Arbor")); // spurious FP
+        let lexicon: FxHashSet<&str> = ["E3 ubiquitin"].into_iter().collect();
+        let fps = false_positives(&sys, &gold, |t| lexicon.contains(t));
+        assert_eq!(fps.len(), 2);
+        let counts = CategoryCounts::tally(&fps);
+        assert_eq!(counts, CategoryCounts { gene_related: 1, spurious: 1 });
+    }
+
+    #[test]
+    fn alternative_matches_are_not_fps() {
+        let mut gold = AnnotationSet::new();
+        gold.add_primary(ann("s1", 0, 11, "wilms tumor 1"));
+        gold.add_alternative(ann("s1", 0, 4, "wilms"));
+        let mut sys = AnnotationSet::new();
+        sys.add_primary(ann("s1", 0, 4, "wilms"));
+        let fps = false_positives(&sys, &gold, |_| true);
+        assert!(fps.is_empty());
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let gold = AnnotationSet::new();
+        let mut sys = AnnotationSet::new();
+        sys.add_primary(ann("s2", 5, 9, "b"));
+        sys.add_primary(ann("s1", 0, 2, "a"));
+        let fps = false_positives(&sys, &gold, |_| false);
+        assert_eq!(fps[0].sentence_id, "s1");
+        assert_eq!(fps[1].sentence_id, "s2");
+    }
+
+    #[test]
+    fn empty_counts() {
+        let c = CategoryCounts::tally(&[]);
+        assert_eq!(c.total(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Approximate-randomization significance testing (sigf).
+//!
+//! Reimplements Padó's `sigf` tool, which the paper uses: "sigf
+//! repeatedly constructs statistically identical models m3 and m4 by
+//! taking the predictions that are produced by m1 or m2 but not both of
+//! them, and randomly assigning those predictions to either m3 or m4.
+//! How often m3 and m4 produce results that are at least as different as
+//! results of m1 and m2 is interpreted as the p-value" (Yeh 2000).
+//!
+//! The shuffled unit is the sentence: each shuffle swaps the two
+//! systems' per-sentence counts independently with probability ½. Units
+//! where both systems produced identical counts are invariant under the
+//! swap, which realizes the "produced by m1 or m2 but not both"
+//! restriction without special-casing.
+
+use crate::bc2::{Counts, Evaluation};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Which metric the null hypothesis is about (Table V tests all three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Precision.
+    Precision,
+    /// Recall.
+    Recall,
+    /// F-score.
+    FScore,
+}
+
+impl Metric {
+    /// Evaluate the metric on aggregate counts.
+    pub fn of(&self, c: &Counts) -> f64 {
+        match self {
+            Metric::Precision => c.precision(),
+            Metric::Recall => c.recall(),
+            Metric::FScore => c.f_score(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Precision => "Precision",
+            Metric::Recall => "Recall",
+            Metric::FScore => "F-score",
+        }
+    }
+}
+
+/// Result of a sigf run.
+#[derive(Clone, Copy, Debug)]
+pub struct SigfResult {
+    /// Absolute observed metric difference between the two systems.
+    pub observed_diff: f64,
+    /// Estimated p-value, `(r + 1) / (reps + 1)` where `r` counts
+    /// shuffles at least as extreme as the observation.
+    pub p_value: f64,
+    /// Number of shuffles run.
+    pub repetitions: usize,
+}
+
+/// Run the approximate randomization test over two paired evaluations.
+///
+/// Both evaluations must cover the same sentences (they will, when
+/// produced by [`crate::bc2::evaluate`] against the same gold set).
+pub fn sigf(
+    a: &Evaluation,
+    b: &Evaluation,
+    metric: Metric,
+    repetitions: usize,
+    seed: u64,
+) -> SigfResult {
+    // Pair the per-sentence counts.
+    let mut ids: Vec<&String> = a.per_sentence.keys().collect();
+    ids.sort_unstable();
+    let pairs: Vec<(Counts, Counts)> = ids
+        .iter()
+        .map(|id| {
+            let ca = a.per_sentence[*id];
+            let cb = b.per_sentence.get(*id).copied().unwrap_or(Counts {
+                tp: 0,
+                detections: 0,
+                gold: ca.gold,
+            });
+            (ca, cb)
+        })
+        .collect();
+
+    let observed_diff = (metric.of(&a.totals) - metric.of(&b.totals)).abs();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    const EPS: f64 = 1e-12;
+    for _ in 0..repetitions {
+        let mut ta = Counts::default();
+        let mut tb = Counts::default();
+        for &(ca, cb) in &pairs {
+            if rng.gen::<bool>() {
+                ta.merge(&cb);
+                tb.merge(&ca);
+            } else {
+                ta.merge(&ca);
+                tb.merge(&cb);
+            }
+        }
+        if (metric.of(&ta) - metric.of(&tb)).abs() >= observed_diff - EPS {
+            extreme += 1;
+        }
+    }
+    SigfResult {
+        observed_diff,
+        p_value: (extreme as f64 + 1.0) / (repetitions as f64 + 1.0),
+        repetitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustc_hash::FxHashMap;
+
+    fn eval_from(counts: Vec<(&str, Counts)>) -> Evaluation {
+        let mut per_sentence = FxHashMap::default();
+        let mut totals = Counts::default();
+        for (id, c) in counts {
+            totals.merge(&c);
+            per_sentence.insert(id.to_string(), c);
+        }
+        Evaluation { per_sentence, totals }
+    }
+
+    fn c(tp: usize, det: usize, gold: usize) -> Counts {
+        Counts { tp, detections: det, gold }
+    }
+
+    #[test]
+    fn identical_systems_not_significant() {
+        let counts: Vec<(String, Counts)> =
+            (0..50).map(|i| (format!("s{i}"), c(i % 3, 3, 3))).collect();
+        let a = eval_from(counts.iter().map(|(s, x)| (s.as_str(), *x)).collect());
+        let b = a.clone();
+        let r = sigf(&a, &b, Metric::FScore, 500, 1);
+        assert_eq!(r.observed_diff, 0.0);
+        // every shuffle is "at least as extreme" as 0
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn overwhelming_difference_is_significant() {
+        // system A perfect, system B completely wrong, 200 sentences
+        let a = eval_from((0..200).map(|i| (format!("s{i}"), c(2, 2, 2))).collect::<Vec<_>>()
+            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
+        let b = eval_from((0..200).map(|i| (format!("s{i}"), c(0, 2, 2))).collect::<Vec<_>>()
+            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
+        let r = sigf(&a, &b, Metric::FScore, 1000, 2);
+        assert!(r.observed_diff > 0.9);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn tiny_difference_not_significant() {
+        // one sentence differs out of 100
+        let mk = |flip: bool| {
+            let counts: Vec<(String, Counts)> = (0..100)
+                .map(|i| {
+                    let tp = if i == 0 && flip { 1 } else { 2 };
+                    (format!("s{i}"), c(tp, 2, 2))
+                })
+                .collect();
+            eval_from(counts.iter().map(|(s, x)| (s.as_str(), *x)).collect())
+        };
+        let r = sigf(&mk(false), &mk(true), Metric::FScore, 1000, 3);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = eval_from((0..30).map(|i| (format!("s{i}"), c(i % 2, 2, 2))).collect::<Vec<_>>()
+            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
+        let b = eval_from((0..30).map(|i| (format!("s{i}"), c((i + 1) % 2, 2, 2))).collect::<Vec<_>>()
+            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
+        let r1 = sigf(&a, &b, Metric::Precision, 300, 9);
+        let r2 = sigf(&a, &b, Metric::Precision, 300, 9);
+        assert_eq!(r1.p_value, r2.p_value);
+    }
+
+    #[test]
+    fn metric_selector() {
+        let x = c(3, 4, 6);
+        assert!((Metric::Precision.of(&x) - 0.75).abs() < 1e-12);
+        assert!((Metric::Recall.of(&x) - 0.5).abs() < 1e-12);
+        assert!((Metric::FScore.of(&x) - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Chi-square tests for the qualitative error analysis (section III-E).
+//!
+//! The paper uses "a chi-square two-sample test for equality of
+//! proportions with continuity correction" (R's `prop.test`) to compare
+//! the proportion of gene-related false positives between systems, and a
+//! chi-square test of proportions for the corpus-annotation-error
+//! comparison.
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26 (max error
+/// 1.5e-7) extended to the full real line by symmetry.
+pub fn erfc(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let v = poly * (-x * x).exp();
+    if x >= 0.0 {
+        v
+    } else {
+        2.0 - v
+    }
+}
+
+/// Upper tail of the chi-square distribution with 1 degree of freedom:
+/// `P(X² ≥ x) = erfc(√(x/2))`.
+pub fn chi2_sf_1df(x: f64) -> f64 {
+    if x <= 0.0 {
+        1.0
+    } else {
+        erfc((x / 2.0).sqrt())
+    }
+}
+
+/// Result of a two-sample proportion test.
+#[derive(Clone, Copy, Debug)]
+pub struct ProportionTest {
+    /// The chi-square statistic (with Yates continuity correction).
+    pub statistic: f64,
+    /// Two-sided p-value (1 df).
+    pub p_value: f64,
+    /// Sample proportions.
+    pub p1: f64,
+    /// Sample proportions.
+    pub p2: f64,
+}
+
+/// Chi-square two-sample test for equality of proportions with
+/// continuity correction (R's `prop.test` with two groups).
+///
+/// `x1` successes out of `n1` trials vs `x2` out of `n2`.
+pub fn prop_test(x1: usize, n1: usize, x2: usize, n2: usize) -> ProportionTest {
+    assert!(x1 <= n1 && x2 <= n2, "successes exceed trials");
+    assert!(n1 > 0 && n2 > 0, "empty sample");
+    let (x1f, n1f, x2f, n2f) = (x1 as f64, n1 as f64, x2 as f64, n2 as f64);
+    let p1 = x1f / n1f;
+    let p2 = x2f / n2f;
+    let p_pool = (x1f + x2f) / (n1f + n2f);
+    if p_pool == 0.0 || p_pool == 1.0 {
+        return ProportionTest { statistic: 0.0, p_value: 1.0, p1, p2 };
+    }
+    // Yates correction, capped so the statistic cannot go negative.
+    let diff = (p1 - p2).abs();
+    let correction = (0.5 * (1.0 / n1f + 1.0 / n2f)).min(diff);
+    let num = (diff - correction).powi(2);
+    let den = p_pool * (1.0 - p_pool) * (1.0 / n1f + 1.0 / n2f);
+    let statistic = num / den;
+    ProportionTest { statistic, p_value: chi2_sf_1df(statistic), p1, p2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc(0) = 1, erfc(1) ≈ 0.157299, erfc(-1) ≈ 1.842701
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-5);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn chi2_sf_reference_values() {
+        // P(X²₁ ≥ 3.841) ≈ 0.05, P(X²₁ ≥ 6.635) ≈ 0.01
+        assert!((chi2_sf_1df(3.841) - 0.05).abs() < 1e-3);
+        assert!((chi2_sf_1df(6.635) - 0.01).abs() < 1e-3);
+        assert_eq!(chi2_sf_1df(0.0), 1.0);
+    }
+
+    #[test]
+    fn prop_test_matches_r() {
+        // R: prop.test(c(40, 60), c(100, 100)) -> X² = 7.22, p = 0.00721
+        let t = prop_test(40, 100, 60, 100);
+        assert!((t.statistic - 7.22).abs() < 0.01, "stat = {}", t.statistic);
+        assert!((t.p_value - 0.00721).abs() < 0.0005, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn prop_test_equal_proportions() {
+        let t = prop_test(30, 100, 30, 100);
+        assert!(t.statistic < 1e-12);
+        assert!(t.p_value > 0.99);
+    }
+
+    #[test]
+    fn prop_test_extreme_difference() {
+        let t = prop_test(95, 100, 5, 100);
+        assert!(t.p_value < 1e-10);
+    }
+
+    #[test]
+    fn prop_test_degenerate_pool() {
+        let t = prop_test(0, 50, 0, 70);
+        assert_eq!(t.p_value, 1.0);
+        let t = prop_test(50, 50, 70, 70);
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn continuity_correction_capped() {
+        // tiny samples where the correction would exceed the difference
+        let t = prop_test(1, 2, 1, 2);
+        assert!(t.statistic >= 0.0);
+        assert!(t.p_value <= 1.0 && t.p_value > 0.9);
+    }
+}

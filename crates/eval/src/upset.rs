@@ -1,0 +1,122 @@
+//! UpSet-style set-intersection computation (Lex et al. 2014).
+//!
+//! Figures 4 and 5 of the paper visualize the intersections of false
+//! positive calls between GraphNER and its base CRF, split by error
+//! category. An UpSet plot is a bar chart over *exclusive* intersection
+//! regions: each item belongs to exactly one region, identified by the
+//! subset of input sets that contain it.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::hash::Hash;
+
+/// One exclusive intersection region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Names of the sets whose intersection (exclusively) this is,
+    /// sorted.
+    pub sets: Vec<String>,
+    /// Number of items in the region.
+    pub size: usize,
+}
+
+/// Compute the exclusive intersection regions of named sets.
+///
+/// Returns regions sorted by descending size (the UpSet bar order), ties
+/// broken by the set-name list.
+pub fn upset<T: Eq + Hash + Clone>(sets: &[(String, FxHashSet<T>)]) -> Vec<Region> {
+    let mut membership: FxHashMap<&T, Vec<usize>> = FxHashMap::default();
+    for (idx, (_, items)) in sets.iter().enumerate() {
+        for item in items {
+            membership.entry(item).or_default().push(idx);
+        }
+    }
+    let mut regions: FxHashMap<Vec<usize>, usize> = FxHashMap::default();
+    for (_, mut idxs) in membership {
+        idxs.sort_unstable();
+        *regions.entry(idxs).or_insert(0) += 1;
+    }
+    let mut out: Vec<Region> = regions
+        .into_iter()
+        .map(|(idxs, size)| Region {
+            sets: idxs.into_iter().map(|i| sets[i].0.clone()).collect(),
+            size,
+        })
+        .collect();
+    out.sort_by(|a, b| b.size.cmp(&a.size).then(a.sets.cmp(&b.sets)));
+    out
+}
+
+/// Render regions as a text table (the harness's stand-in for the plot).
+pub fn render(regions: &[Region]) -> String {
+    let mut s = String::new();
+    for r in regions {
+        s.push_str(&format!("{:>6}  {}\n", r.size, r.sets.join(" ∩ ")));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> FxHashSet<String> {
+        items.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn two_set_regions() {
+        let sets = vec![
+            ("A".to_string(), s(&["x", "y", "z"])),
+            ("B".to_string(), s(&["y", "z", "w"])),
+        ];
+        let regions = upset(&sets);
+        let find = |names: &[&str]| {
+            regions
+                .iter()
+                .find(|r| r.sets == names.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+                .map(|r| r.size)
+        };
+        assert_eq!(find(&["A", "B"]), Some(2)); // y, z
+        assert_eq!(find(&["A"]), Some(1)); // x
+        assert_eq!(find(&["B"]), Some(1)); // w
+    }
+
+    #[test]
+    fn regions_are_exclusive_and_cover() {
+        let sets = vec![
+            ("A".to_string(), s(&["1", "2", "3", "4"])),
+            ("B".to_string(), s(&["3", "4", "5"])),
+            ("C".to_string(), s(&["4", "5", "6"])),
+        ];
+        let regions = upset(&sets);
+        let total: usize = regions.iter().map(|r| r.size).sum();
+        // distinct items: 1..6
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn sorted_by_size() {
+        let sets = vec![
+            ("A".to_string(), s(&["a", "b", "c"])),
+            ("B".to_string(), s(&["c"])),
+        ];
+        let regions = upset(&sets);
+        for w in regions.windows(2) {
+            assert!(w[0].size >= w[1].size);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let regions = upset::<String>(&[]);
+        assert!(regions.is_empty());
+    }
+
+    #[test]
+    fn render_contains_sizes() {
+        let sets = vec![("A".to_string(), s(&["p", "q"]))];
+        let text = render(&upset(&sets));
+        assert!(text.contains('2'));
+        assert!(text.contains('A'));
+    }
+}

@@ -1,0 +1,221 @@
+//! Cosine k-nearest-neighbour graph construction.
+//!
+//! This is the paper's stated bottleneck — "computing the cosine
+//! similarity between all pairs of vertices would have a time complexity
+//! of O(V²F)" — and the reason GraphNER stays transductive. Two exact
+//! builders are provided:
+//!
+//! * [`knn_brute_force`] — the literal O(V²·nnz) pairwise scan, kept as
+//!   the reference implementation and the baseline in the `knn` bench;
+//! * [`knn_inverted_index`] — the same result computed by scatter-gather
+//!   over an inverted index (feature → postings), which skips all pairs
+//!   with no shared feature. This is the default used by GraphNER.
+//!
+//! Both are data-parallel over query vertices with rayon. Input vectors
+//! must be unit-normalized (as produced by
+//! [`crate::pmi::VertexFeatureCounts::pmi_vectors`]) so dot products are
+//! cosines. Only strictly positive similarities become edges, ties are
+//! broken by vertex id, and self-edges are excluded — so both builders
+//! return identical graphs.
+
+use crate::graph::KnnGraph;
+use crate::sparse::SparseVec;
+use rayon::prelude::*;
+
+/// Select the `k` best `(id, score)` candidates, descending by score,
+/// ties broken by ascending id.
+fn top_k(mut candidates: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
+    let by_quality = |a: &(u32, f32), b: &(u32, f32)| {
+        b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+    };
+    if candidates.len() > k {
+        candidates.select_nth_unstable_by(k - 1, by_quality);
+        candidates.truncate(k);
+    }
+    candidates.sort_unstable_by(by_quality);
+    candidates
+}
+
+/// Exact k-NN by pairwise cosine over all vertex pairs.
+pub fn knn_brute_force(vectors: &[SparseVec], k: usize) -> KnnGraph {
+    assert!(k > 0);
+    let n = vectors.len();
+    let adj: Vec<Vec<(u32, f32)>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut cands = Vec::new();
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let sim = vectors[i].dot(&vectors[j]);
+                if sim > 0.0 {
+                    cands.push((j as u32, sim as f32));
+                }
+            }
+            top_k(cands, k)
+        })
+        .collect();
+    KnnGraph::from_adjacency(adj, k)
+}
+
+/// Exact k-NN via an inverted index over features.
+pub fn knn_inverted_index(vectors: &[SparseVec], k: usize) -> KnnGraph {
+    assert!(k > 0);
+    let n = vectors.len();
+
+    // Build postings: feature id -> [(vertex, value)].
+    let num_features = vectors
+        .iter()
+        .flat_map(|v| v.entries().iter().map(|&(f, _)| f as usize + 1))
+        .max()
+        .unwrap_or(0);
+    let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); num_features];
+    for (i, vec) in vectors.iter().enumerate() {
+        for &(f, val) in vec.entries() {
+            postings[f as usize].push((i as u32, val));
+        }
+    }
+
+    let adj: Vec<Vec<(u32, f32)>> = (0..n)
+        .into_par_iter()
+        .map_init(
+            || (vec![0.0f32; n], Vec::<u32>::new()),
+            |(scores, touched), i| {
+                for &(f, val) in vectors[i].entries() {
+                    for &(j, w) in &postings[f as usize] {
+                        if scores[j as usize] == 0.0 {
+                            touched.push(j);
+                        }
+                        scores[j as usize] += val * w;
+                    }
+                }
+                let mut cands = Vec::with_capacity(touched.len());
+                for &j in touched.iter() {
+                    let s = scores[j as usize];
+                    scores[j as usize] = 0.0;
+                    if j as usize != i && s > 0.0 {
+                        cands.push((j, s));
+                    }
+                }
+                touched.clear();
+                top_k(cands, k)
+            },
+        )
+        .collect();
+    KnnGraph::from_adjacency(adj, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(pairs: Vec<(u32, f32)>) -> SparseVec {
+        let mut v = SparseVec::from_pairs(pairs);
+        v.normalize();
+        v
+    }
+
+    fn random_vectors(n: usize, num_features: u32, nnz: usize, seed: u64) -> Vec<SparseVec> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let pairs: Vec<(u32, f32)> = (0..nnz)
+                    .map(|_| {
+                        let f = (next() % num_features as u64) as u32;
+                        let v = ((next() % 1000) as f32 / 1000.0) + 0.001;
+                        (f, v)
+                    })
+                    .collect();
+                unit(pairs)
+            })
+            .collect()
+    }
+
+    fn edges(g: &KnnGraph) -> Vec<(u32, u32, f32)> {
+        (0..g.num_vertices() as u32)
+            .flat_map(|v| g.neighbors(v).map(move |(nb, w)| (v, nb, w)))
+            .collect()
+    }
+
+    #[test]
+    fn brute_force_simple_clusters() {
+        // two tight clusters in feature space
+        let vecs = vec![
+            unit(vec![(0, 1.0), (1, 0.1)]),
+            unit(vec![(0, 1.0), (1, 0.2)]),
+            unit(vec![(5, 1.0), (6, 0.1)]),
+            unit(vec![(5, 1.0), (6, 0.2)]),
+        ];
+        let g = knn_brute_force(&vecs, 1);
+        let nb: Vec<u32> = (0..4).map(|v| g.neighbors(v).next().unwrap().0).collect();
+        assert_eq!(nb, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn inverted_index_matches_brute_force() {
+        for seed in 1..4u64 {
+            let vecs = random_vectors(60, 40, 6, seed);
+            let a = knn_brute_force(&vecs, 5);
+            let b = knn_inverted_index(&vecs, 5);
+            let (ea, eb) = (edges(&a), edges(&b));
+            assert_eq!(ea.len(), eb.len(), "seed {seed}");
+            for ((va, na, wa), (vb, nb, wb)) in ea.iter().zip(&eb) {
+                assert_eq!((va, na), (vb, nb), "seed {seed}");
+                assert!((wa - wb).abs() < 1e-5, "seed {seed}: {wa} vs {wb}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_degree_is_k_when_enough_neighbours() {
+        let vecs = random_vectors(50, 10, 5, 9);
+        let g = knn_inverted_index(&vecs, 10);
+        for v in 0..50u32 {
+            assert!(g.out_degree(v) <= 10);
+            // dense feature overlap here: everyone has 10 positive sims
+            assert_eq!(g.out_degree(v), 10);
+        }
+    }
+
+    #[test]
+    fn disjoint_vectors_get_no_edges() {
+        let vecs = vec![unit(vec![(0, 1.0)]), unit(vec![(1, 1.0)]), unit(vec![(2, 1.0)])];
+        for g in [knn_brute_force(&vecs, 3), knn_inverted_index(&vecs, 3)] {
+            assert_eq!(g.num_edges(), 0);
+        }
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let vecs = random_vectors(20, 8, 4, 3);
+        let g = knn_inverted_index(&vecs, 5);
+        for v in 0..20u32 {
+            assert!(g.neighbors(v).all(|(nb, _)| nb != v));
+        }
+    }
+
+    #[test]
+    fn neighbours_sorted_by_similarity() {
+        let vecs = random_vectors(30, 12, 5, 17);
+        let g = knn_inverted_index(&vecs, 6);
+        for v in 0..30u32 {
+            let ws: Vec<f32> = g.neighbors(v).map(|(_, w)| w).collect();
+            for pair in ws.windows(2) {
+                assert!(pair[0] >= pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vector_set() {
+        let g = knn_inverted_index(&[], 5);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

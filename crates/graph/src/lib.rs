@@ -1,0 +1,28 @@
+//! The similarity graph substrate of GraphNER.
+//!
+//! "The central idea in GraphNER is to have a graph that tells us what
+//! data points are similar, so that we can assign similar labels to
+//! them." This crate implements that graph end to end:
+//!
+//! * [`sparse`] — sparse feature vectors with merge-based dot products;
+//! * [`pmi`] — pointwise-mutual-information vertex representations over
+//!   3-gram/feature co-occurrence counts;
+//! * [`knn`] — exact cosine k-nearest-neighbour construction, both the
+//!   paper's O(V²F) brute force and an inverted-index equivalent, rayon
+//!   parallel;
+//! * [`graph`] — the directed k-NN graph (CSR) with the §III-D
+//!   statistics: influence, influencees, weak connectivity;
+//! * [`propagate`] — the iterative label-propagation update of
+//!   equation (2).
+
+pub mod graph;
+pub mod knn;
+pub mod pmi;
+pub mod propagate;
+pub mod sparse;
+
+pub use graph::{histogram, Histogram, KnnGraph};
+pub use knn::{knn_brute_force, knn_inverted_index};
+pub use pmi::VertexFeatureCounts;
+pub use propagate::{propagate, LabelDist, PropagationParams, UNIFORM};
+pub use sparse::SparseVec;

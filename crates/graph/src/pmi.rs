@@ -1,0 +1,164 @@
+//! Pointwise-mutual-information vertex representations.
+//!
+//! "A vertex is represented as a vector of pointwise mutual information
+//! between the 3-gram associated with it and possible feature instances
+//! such as surrounding words." Counts of `(vertex, feature instance)`
+//! co-occurrences are accumulated while scanning the corpus, then turned
+//! into positive-PMI vectors (negative PMI clipped to zero, the standard
+//! sparsity-preserving choice) and unit-normalized so the k-NN stage can
+//! use plain dot products as cosine similarity.
+
+use crate::sparse::SparseVec;
+use rustc_hash::FxHashMap;
+
+/// Accumulator of vertex–feature co-occurrence counts.
+#[derive(Clone, Debug, Default)]
+pub struct VertexFeatureCounts {
+    counts: FxHashMap<(u32, u32), f64>,
+    vertex_total: FxHashMap<u32, f64>,
+    feature_total: FxHashMap<u32, f64>,
+    grand_total: f64,
+}
+
+impl VertexFeatureCounts {
+    /// An empty accumulator.
+    pub fn new() -> VertexFeatureCounts {
+        VertexFeatureCounts::default()
+    }
+
+    /// Record one co-occurrence of `feature` with `vertex`, with count
+    /// weight `w` (normally 1.0 per occurrence).
+    pub fn add(&mut self, vertex: u32, feature: u32, w: f64) {
+        debug_assert!(w > 0.0);
+        *self.counts.entry((vertex, feature)).or_insert(0.0) += w;
+        *self.vertex_total.entry(vertex).or_insert(0.0) += w;
+        *self.feature_total.entry(feature).or_insert(0.0) += w;
+        self.grand_total += w;
+    }
+
+    /// Total accumulated weight.
+    pub fn total(&self) -> f64 {
+        self.grand_total
+    }
+
+    /// Number of distinct `(vertex, feature)` pairs seen.
+    pub fn num_pairs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw PMI of one pair:
+    /// `ln( c(v,f)·N / (c(v)·c(f)) )`, or `None` if the pair was never
+    /// seen.
+    pub fn pmi(&self, vertex: u32, feature: u32) -> Option<f64> {
+        let c_vf = *self.counts.get(&(vertex, feature))?;
+        let c_v = self.vertex_total[&vertex];
+        let c_f = self.feature_total[&feature];
+        Some((c_vf * self.grand_total / (c_v * c_f)).ln())
+    }
+
+    /// Build one positive-PMI vector per vertex, unit-normalized.
+    ///
+    /// `num_vertices` sizes the output; vertices with no counts (or only
+    /// negative-PMI features) get empty vectors.
+    pub fn pmi_vectors(&self, num_vertices: usize) -> Vec<SparseVec> {
+        let mut pairs: Vec<Vec<(u32, f32)>> = vec![Vec::new(); num_vertices];
+        for (&(v, f), &c_vf) in &self.counts {
+            let c_v = self.vertex_total[&v];
+            let c_f = self.feature_total[&f];
+            let pmi = (c_vf * self.grand_total / (c_v * c_f)).ln();
+            if pmi > 0.0 {
+                pairs[v as usize].push((f, pmi as f32));
+            }
+        }
+        pairs
+            .into_iter()
+            .map(|p| {
+                let mut v = SparseVec::from_pairs(p);
+                v.normalize();
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmi_of_independent_pair_is_zero() {
+        // two vertices, two features, perfectly uniform joint: PMI = 0
+        let mut c = VertexFeatureCounts::new();
+        for v in 0..2 {
+            for f in 0..2 {
+                c.add(v, f, 1.0);
+            }
+        }
+        for v in 0..2 {
+            for f in 0..2 {
+                assert!(c.pmi(v, f).unwrap().abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pmi_positive_for_associated_pair() {
+        let mut c = VertexFeatureCounts::new();
+        c.add(0, 0, 10.0); // vertex 0 strongly associated with feature 0
+        c.add(0, 1, 1.0);
+        c.add(1, 1, 10.0);
+        c.add(1, 0, 1.0);
+        assert!(c.pmi(0, 0).unwrap() > 0.0);
+        assert!(c.pmi(0, 1).unwrap() < 0.0);
+        assert_eq!(c.pmi(0, 2), None);
+    }
+
+    #[test]
+    fn vectors_are_unit_norm_and_clipped() {
+        let mut c = VertexFeatureCounts::new();
+        c.add(0, 0, 10.0);
+        c.add(0, 1, 1.0);
+        c.add(1, 1, 10.0);
+        c.add(1, 0, 1.0);
+        let vecs = c.pmi_vectors(3);
+        assert_eq!(vecs.len(), 3);
+        // negative-PMI entries clipped: each vertex keeps only its
+        // associated feature
+        assert_eq!(vecs[0].nnz(), 1);
+        assert_eq!(vecs[0].entries()[0].0, 0);
+        assert!((vecs[0].norm() - 1.0).abs() < 1e-6);
+        // vertex 2 never seen -> empty vector
+        assert!(vecs[2].is_empty());
+    }
+
+    #[test]
+    fn similar_vertices_have_high_cosine() {
+        let mut c = VertexFeatureCounts::new();
+        // vertices 0 and 1 share features 10, 11; vertex 2 uses 20, 21
+        for f in [10, 11] {
+            c.add(0, f, 5.0);
+            c.add(1, f, 5.0);
+        }
+        for f in [20, 21] {
+            c.add(2, f, 5.0);
+        }
+        // a shared background feature so totals interact
+        for v in 0..3 {
+            c.add(v, 99, 1.0);
+        }
+        let vecs = c.pmi_vectors(3);
+        let sim01 = vecs[0].dot(&vecs[1]);
+        let sim02 = vecs[0].dot(&vecs[2]);
+        assert!(sim01 > 0.9, "sim01 = {sim01}");
+        assert!(sim01 > sim02);
+    }
+
+    #[test]
+    fn totals_track_additions() {
+        let mut c = VertexFeatureCounts::new();
+        c.add(0, 0, 2.0);
+        c.add(0, 1, 3.0);
+        assert_eq!(c.total(), 5.0);
+        assert_eq!(c.num_pairs(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! Graph propagation — equation (2) of the paper.
+//!
+//! The propagation objective (equation 1) trades off three terms: stay
+//! close to the reference distribution on labelled vertices, agree with
+//! graph neighbours, and stay close to uniform absent evidence. Setting
+//! its derivative to zero yields the fixed-point update
+//!
+//! ```text
+//! X(i) ← [ δ(i∈Vₗ)·X_ref(i) + μ·Σ_k w_ik·X(k) + ν/Y ]
+//!        / [ δ(i∈Vₗ) + ν + μ·Σ_k w_ik ]
+//! ```
+//!
+//! iterated `#iterations` times. The update is Jacobi-style: every
+//! vertex reads the previous iterate and writes a fresh buffer, which
+//! makes each sweep embarrassingly parallel (rayon over vertices) and
+//! the result independent of vertex order.
+
+use crate::graph::KnnGraph;
+use graphner_text::NUM_TAGS;
+use rayon::prelude::*;
+
+/// A label distribution over the BIO tags.
+pub type LabelDist = [f64; NUM_TAGS];
+
+/// The uniform distribution `U`.
+pub const UNIFORM: LabelDist = [1.0 / NUM_TAGS as f64; NUM_TAGS];
+
+/// Hyper-parameters of the propagation (Table IV of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct PropagationParams {
+    /// Weight `μ` of the neighbour-agreement term.
+    pub mu: f64,
+    /// Weight `ν` of the uniform prior term.
+    pub nu: f64,
+    /// Number of update sweeps (`#iterations`).
+    pub iterations: usize,
+    /// Self-anchor weight for *unlabelled* vertices, expressed as a
+    /// fraction of their neighbour mass `μ·Σ_k w_ik`. Equation (2) gives
+    /// unlabelled vertices no anchor of their own, so a few sweeps
+    /// diffuse away the information their initial distributions carried
+    /// (the averaged CRF posteriors of Algorithm 1, line 6). A non-zero
+    /// anchor adds `κ‖X(u) − X⁰(u)‖²` to the objective for unlabelled
+    /// `u` with `κ = self_anchor·μ·Σw` — the injection term familiar
+    /// from label-propagation variants such as modified adsorption.
+    /// `0.0` reproduces equation (2) exactly.
+    pub self_anchor: f64,
+}
+
+impl Default for PropagationParams {
+    fn default() -> PropagationParams {
+        // The cross-validated values the paper settles on for BC2GM;
+        // pure equation (2) (no self-anchor).
+        PropagationParams { mu: 1e-6, nu: 1e-6, iterations: 3, self_anchor: 0.0 }
+    }
+}
+
+/// One Jacobi sweep of equation (2): reads `x`, writes `out`.
+///
+/// `x_ref[i]` carries the reference distribution for labelled vertices
+/// (`Some` exactly when `i ∈ Vₗ`). `weight_sums[i]` must be
+/// `Σ_k w_ik` over the out-neighbours of `i`.
+fn sweep(
+    graph: &KnnGraph,
+    x: &[LabelDist],
+    x0: &[LabelDist],
+    x_ref: &[Option<LabelDist>],
+    weight_sums: &[f64],
+    params: &PropagationParams,
+    out: &mut [LabelDist],
+) {
+    let nu_term = params.nu / NUM_TAGS as f64;
+    out.par_iter_mut().enumerate().for_each(|(i, dst)| {
+        let mut gamma = [nu_term; NUM_TAGS];
+        let mut k_i = params.nu + params.mu * weight_sums[i];
+        if let Some(r) = &x_ref[i] {
+            k_i += 1.0;
+            for (g, ry) in gamma.iter_mut().zip(r) {
+                *g += ry;
+            }
+        } else if params.self_anchor > 0.0 {
+            let kappa = params.self_anchor * params.mu * weight_sums[i];
+            k_i += kappa;
+            for (g, iy) in gamma.iter_mut().zip(&x0[i]) {
+                *g += kappa * iy;
+            }
+        }
+        for (nb, w) in graph.neighbors(i as u32) {
+            let xw = &x[nb as usize];
+            let w = params.mu * w as f64;
+            for (g, xy) in gamma.iter_mut().zip(xw) {
+                *g += w * xy;
+            }
+        }
+        for (d, g) in dst.iter_mut().zip(gamma) {
+            *d = g / k_i;
+        }
+    });
+}
+
+/// Propagate label distributions over the graph (Algorithm 1, line 7).
+///
+/// `x` holds the initial distributions (averaged CRF posteriors for
+/// vertices seen at test time); it is updated in place. Returns the
+/// maximum per-entry change of the final sweep, a convergence
+/// diagnostic.
+pub fn propagate(
+    graph: &KnnGraph,
+    x: &mut Vec<LabelDist>,
+    x_ref: &[Option<LabelDist>],
+    params: &PropagationParams,
+) -> f64 {
+    let n = graph.num_vertices();
+    assert_eq!(x.len(), n, "distribution count must match vertex count");
+    assert_eq!(x_ref.len(), n, "reference count must match vertex count");
+    if n == 0 || params.iterations == 0 {
+        return 0.0;
+    }
+    let weight_sums: Vec<f64> = (0..n as u32).map(|v| graph.weight_sum(v)).collect();
+    let x0: Vec<LabelDist> = x.clone();
+    let mut buf = vec![[0.0; NUM_TAGS]; n];
+    let mut residual = 0.0;
+    for _ in 0..params.iterations {
+        sweep(graph, x, &x0, x_ref, &weight_sums, params, &mut buf);
+        residual = x
+            .par_iter()
+            .zip(buf.par_iter())
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(p, q)| (p - q).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .reduce(|| 0.0, f64::max);
+        std::mem::swap(x, &mut buf);
+    }
+    residual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KnnGraph;
+
+    fn is_distribution(d: &LabelDist) -> bool {
+        d.iter().all(|&p| p >= -1e-12) && (d.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+
+    /// A 4-cycle where each vertex points to the next.
+    fn ring(w: f32) -> KnnGraph {
+        KnnGraph::from_adjacency(
+            (0..4).map(|i| vec![(((i + 1) % 4) as u32, w)]).collect(),
+            1,
+        )
+    }
+
+    #[test]
+    fn update_preserves_simplex() {
+        let g = ring(0.7);
+        let mut x = vec![
+            [0.5, 0.3, 0.2],
+            [0.1, 0.1, 0.8],
+            [0.0, 0.0, 1.0],
+            [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ];
+        let x_ref = vec![Some([0.9, 0.05, 0.05]), None, None, None];
+        propagate(&g, &mut x, &x_ref, &PropagationParams { mu: 0.5, nu: 0.1, iterations: 5, self_anchor: 0.0 });
+        for d in &x {
+            assert!(is_distribution(d), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_labelled_vertex_blends_ref_and_uniform() {
+        // no edges: X = (X_ref + ν/Y) / (1 + ν)
+        let g = KnnGraph::from_adjacency(vec![vec![]], 1);
+        let r = [0.8, 0.1, 0.1];
+        let nu = 0.3;
+        let mut x = vec![[1.0 / 3.0; 3]];
+        propagate(&g, &mut x, &[Some(r)], &PropagationParams { mu: 1.0, nu, iterations: 1, self_anchor: 0.0 });
+        for y in 0..3 {
+            let expect = (r[y] + nu / 3.0) / (1.0 + nu);
+            assert!((x[0][y] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn isolated_unlabelled_vertex_goes_uniform() {
+        let g = KnnGraph::from_adjacency(vec![vec![]], 1);
+        let mut x = vec![[0.9, 0.05, 0.05]];
+        propagate(&g, &mut x, &[None], &PropagationParams { mu: 1.0, nu: 0.2, iterations: 1, self_anchor: 0.0 });
+        for p in x[0] {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn labels_flow_to_neighbours() {
+        // vertex 1 (unlabelled, initially uniform) points at vertex 0
+        // whose reference is strongly B; propagation must pull vertex 1
+        // towards B. This is the "tumor - 1" mechanism of Figure 1.
+        let g = KnnGraph::from_adjacency(vec![vec![], vec![(0, 1.0)]], 1);
+        let x_ref = vec![Some([1.0, 0.0, 0.0]), None];
+        let mut x = vec![[1.0, 0.0, 0.0], [1.0 / 3.0; 3]];
+        propagate(
+            &g,
+            &mut x,
+            &x_ref,
+            &PropagationParams { mu: 2.0, nu: 0.01, iterations: 10, self_anchor: 0.0 },
+        );
+        assert!(x[1][0] > 0.9, "B mass after propagation: {}", x[1][0]);
+        assert!(is_distribution(&x[1]));
+    }
+
+    #[test]
+    fn fixed_point_satisfies_update_equation() {
+        let g = ring(0.6);
+        let x_ref = vec![Some([0.7, 0.2, 0.1]), None, Some([0.1, 0.8, 0.1]), None];
+        let params = PropagationParams { mu: 0.8, nu: 0.05, iterations: 500, self_anchor: 0.0 };
+        let mut x = vec![[1.0 / 3.0; 3]; 4];
+        let residual = propagate(&g, &mut x, &x_ref, &params);
+        assert!(residual < 1e-12, "not converged: residual {residual}");
+        // verify eq. 2 holds at the fixed point
+        for i in 0..4usize {
+            let w_sum = g.weight_sum(i as u32);
+            let labelled = x_ref[i].is_some();
+            let k_i = if labelled { 1.0 } else { 0.0 } + params.nu + params.mu * w_sum;
+            for y in 0..3 {
+                let mut gamma = params.nu / 3.0;
+                if let Some(r) = &x_ref[i] {
+                    gamma += r[y];
+                }
+                for (nb, w) in g.neighbors(i as u32) {
+                    gamma += params.mu * w as f64 * x[nb as usize][y];
+                }
+                assert!((x[i][y] - gamma / k_i).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let g = ring(0.5);
+        let orig = vec![[0.2, 0.3, 0.5]; 4];
+        let mut x = orig.clone();
+        propagate(&g, &mut x, &[None, None, None, None], &PropagationParams {
+            mu: 1.0,
+            nu: 1.0,
+            iterations: 0,
+            self_anchor: 0.0,
+        });
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn tiny_mu_nu_barely_move_labelled_vertices() {
+        // with the paper's μ = ν = 1e-6, labelled vertices stay glued to
+        // their reference distributions
+        let g = ring(1.0);
+        let r = [0.6, 0.3, 0.1];
+        let x_ref = vec![Some(r); 4];
+        let mut x = vec![[1.0 / 3.0; 3]; 4];
+        propagate(&g, &mut x, &x_ref, &PropagationParams::default());
+        for d in &x {
+            for y in 0..3 {
+                assert!((d[y] - r[y]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_decreases_across_iterations() {
+        let g = ring(0.9);
+        let x_ref = vec![Some([0.9, 0.05, 0.05]), None, None, None];
+        let mut residuals = Vec::new();
+        let mut x = vec![[1.0 / 3.0; 3]; 4];
+        for _ in 0..6 {
+            let r = propagate(
+                &g,
+                &mut x,
+                &x_ref,
+                &PropagationParams { mu: 0.5, nu: 0.1, iterations: 1, self_anchor: 0.0 },
+            );
+            residuals.push(r);
+        }
+        for w in residuals.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "residuals not monotone: {residuals:?}");
+        }
+    }
+}

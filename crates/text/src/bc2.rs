@@ -1,0 +1,230 @@
+//! The BC2GM annotation format.
+//!
+//! The BioCreative II gene mention corpus distributes annotations in a
+//! pipe-separated format, one mention per line:
+//!
+//! ```text
+//! P00015731A0362|14 33|lymphocyte adaptor protein
+//! ```
+//!
+//! where the two offsets are the first and last character of the mention
+//! counted over the sentence text *with space characters ignored* (both
+//! inclusive). A separate `ALTGENE` file lists acceptable alternative
+//! boundaries for some mentions; the evaluation script counts a
+//! detection as a true positive if it exactly matches a primary mention
+//! or any of its alternatives.
+
+use crate::sentence::{Mention, Sentence};
+use rustc_hash::FxHashMap;
+
+/// One annotation line: a mention located by space-free character
+/// offsets within a named sentence.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Bc2Annotation {
+    /// Sentence identifier.
+    pub sentence_id: String,
+    /// Space-free offset of the first mention character (inclusive).
+    pub first: usize,
+    /// Space-free offset of the last mention character (inclusive).
+    pub last: usize,
+    /// Surface text of the mention (informational; offsets are
+    /// authoritative).
+    pub text: String,
+}
+
+impl Bc2Annotation {
+    /// Build an annotation from a token-span mention in a sentence.
+    pub fn from_mention(sentence: &Sentence, m: &Mention) -> Bc2Annotation {
+        let (first, last) = sentence.mention_to_offsets(m);
+        Bc2Annotation {
+            sentence_id: sentence.id.clone(),
+            first,
+            last,
+            text: sentence.mention_text(m),
+        }
+    }
+
+    /// Serialize to the `id|first last|text` line format.
+    pub fn to_line(&self) -> String {
+        format!("{}|{} {}|{}", self.sentence_id, self.first, self.last, self.text)
+    }
+
+    /// Parse one `id|first last|text` line. Returns `None` on malformed
+    /// input.
+    pub fn parse_line(line: &str) -> Option<Bc2Annotation> {
+        let mut parts = line.splitn(3, '|');
+        let sentence_id = parts.next()?.to_string();
+        let offsets = parts.next()?;
+        let text = parts.next().unwrap_or("").to_string();
+        let mut nums = offsets.split_whitespace();
+        let first: usize = nums.next()?.parse().ok()?;
+        let last: usize = nums.next()?.parse().ok()?;
+        if last < first || sentence_id.is_empty() {
+            return None;
+        }
+        Some(Bc2Annotation { sentence_id, first, last, text })
+    }
+
+    /// The `(first, last)` offset pair used as the match key by the
+    /// evaluator.
+    pub fn span(&self) -> (usize, usize) {
+        (self.first, self.last)
+    }
+}
+
+/// A full annotation set for a corpus: primary gold mentions plus
+/// alternative acceptable boundaries, grouped per sentence.
+#[derive(Clone, Debug, Default)]
+pub struct AnnotationSet {
+    /// Primary gold mentions per sentence id.
+    pub primary: FxHashMap<String, Vec<Bc2Annotation>>,
+    /// Alternative acceptable spans per sentence id. An alternative is
+    /// associated with the primary mention(s) it overlaps.
+    pub alternatives: FxHashMap<String, Vec<Bc2Annotation>>,
+}
+
+impl AnnotationSet {
+    /// An empty annotation set.
+    pub fn new() -> AnnotationSet {
+        AnnotationSet::default()
+    }
+
+    /// Build the primary annotations from the gold tags of a labelled
+    /// corpus.
+    pub fn from_corpus(corpus: &crate::corpus::Corpus) -> AnnotationSet {
+        let mut set = AnnotationSet::new();
+        for sentence in &corpus.sentences {
+            if let Some(mentions) = sentence.gold_mentions() {
+                for m in &mentions {
+                    set.add_primary(Bc2Annotation::from_mention(sentence, m));
+                }
+            }
+        }
+        set
+    }
+
+    /// Add a primary gold mention.
+    pub fn add_primary(&mut self, ann: Bc2Annotation) {
+        self.primary.entry(ann.sentence_id.clone()).or_default().push(ann);
+    }
+
+    /// Add an alternative acceptable span.
+    pub fn add_alternative(&mut self, ann: Bc2Annotation) {
+        self.alternatives.entry(ann.sentence_id.clone()).or_default().push(ann);
+    }
+
+    /// Total number of primary mentions (the denominator of recall).
+    pub fn num_primary(&self) -> usize {
+        self.primary.values().map(Vec::len).sum()
+    }
+
+    /// Parse a GENE file (primary mentions), one annotation per line.
+    /// Malformed lines are skipped.
+    pub fn parse_gene_file(&mut self, contents: &str) {
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(ann) = Bc2Annotation::parse_line(line) {
+                self.add_primary(ann);
+            }
+        }
+    }
+
+    /// Parse an ALTGENE file (alternative spans).
+    pub fn parse_altgene_file(&mut self, contents: &str) {
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(ann) = Bc2Annotation::parse_line(line) {
+                self.add_alternative(ann);
+            }
+        }
+    }
+
+    /// Serialize the primary mentions to GENE-file format (sorted by
+    /// sentence id, then offset, for reproducible output).
+    pub fn gene_file(&self) -> String {
+        let mut lines: Vec<&Bc2Annotation> = self.primary.values().flatten().collect();
+        lines.sort_by(|a, b| {
+            (&a.sentence_id, a.first, a.last).cmp(&(&b.sentence_id, b.first, b.last))
+        });
+        let mut out = String::new();
+        for ann in lines {
+            out.push_str(&ann.to_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::BioTag::*;
+
+    #[test]
+    fn line_round_trip() {
+        let ann = Bc2Annotation {
+            sentence_id: "P0001".to_string(),
+            first: 14,
+            last: 33,
+            text: "lymphocyte adaptor protein".to_string(),
+        };
+        let line = ann.to_line();
+        assert_eq!(line, "P0001|14 33|lymphocyte adaptor protein");
+        assert_eq!(Bc2Annotation::parse_line(&line), Some(ann));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert_eq!(Bc2Annotation::parse_line(""), None);
+        assert_eq!(Bc2Annotation::parse_line("id|x y|t"), None);
+        assert_eq!(Bc2Annotation::parse_line("id|9 3|t"), None);
+        assert_eq!(Bc2Annotation::parse_line("|1 2|t"), None);
+    }
+
+    #[test]
+    fn text_may_contain_pipes() {
+        let ann = Bc2Annotation::parse_line("id|0 3|a|b").unwrap();
+        assert_eq!(ann.text, "a|b");
+    }
+
+    #[test]
+    fn from_corpus_extracts_gold() {
+        let s = Sentence::labelled(
+            "s1",
+            ["the", "WT1", "gene"].iter().map(|w| w.to_string()).collect(),
+            vec![O, B, O],
+        );
+        let corpus = crate::corpus::Corpus::from_sentences(vec![s]);
+        let set = AnnotationSet::from_corpus(&corpus);
+        assert_eq!(set.num_primary(), 1);
+        let ann = &set.primary["s1"][0];
+        // "theWT1gene": WT1 at space-free offsets 3..=5
+        assert_eq!(ann.span(), (3, 5));
+        assert_eq!(ann.text, "WT1");
+    }
+
+    #[test]
+    fn gene_file_round_trip() {
+        let mut set = AnnotationSet::new();
+        set.add_primary(Bc2Annotation::parse_line("s2|5 9|tumor").unwrap());
+        set.add_primary(Bc2Annotation::parse_line("s1|0 2|LNK").unwrap());
+        let file = set.gene_file();
+        assert_eq!(file, "s1|0 2|LNK\ns2|5 9|tumor\n");
+        let mut set2 = AnnotationSet::new();
+        set2.parse_gene_file(&file);
+        assert_eq!(set2.num_primary(), 2);
+    }
+
+    #[test]
+    fn altgene_parsing() {
+        let mut set = AnnotationSet::new();
+        set.parse_altgene_file("s1|0 5|wilms\n\ns1|0 11|wilms tumor\n");
+        assert_eq!(set.alternatives["s1"].len(), 2);
+    }
+}

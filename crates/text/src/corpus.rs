@@ -1,0 +1,177 @@
+//! Corpora and train/test splits.
+
+use crate::sentence::Sentence;
+
+/// A collection of sentences (labelled, unlabelled, or mixed).
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    /// Sentences in corpus order.
+    pub sentences: Vec<Sentence>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Corpus {
+        Corpus::default()
+    }
+
+    /// Wrap a sentence list.
+    pub fn from_sentences(sentences: Vec<Sentence>) -> Corpus {
+        Corpus { sentences }
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Total token count.
+    pub fn num_tokens(&self) -> usize {
+        self.sentences.iter().map(|s| s.len()).sum()
+    }
+
+    /// Total gold mention count (labelled sentences only).
+    pub fn num_gold_mentions(&self) -> usize {
+        self.sentences
+            .iter()
+            .filter_map(|s| s.gold_mentions())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Whether every sentence carries gold tags.
+    pub fn fully_labelled(&self) -> bool {
+        self.sentences.iter().all(|s| s.tags.is_some())
+    }
+
+    /// A copy with all gold tags stripped.
+    pub fn without_tags(&self) -> Corpus {
+        Corpus {
+            sentences: self.sentences.iter().map(|s| s.without_tags()).collect(),
+        }
+    }
+
+    /// Deterministically split into `(train, test)` by a train fraction,
+    /// using a seeded Fisher–Yates shuffle of sentence indices so that
+    /// repeated runs with the same seed produce the same split. Used by
+    /// the Fig. 2 ratio experiments.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> Split {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction {train_fraction} out of range"
+        );
+        let n = self.sentences.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // xorshift* PRNG: tiny, seedable, and dependency-free; quality is
+        // irrelevant here, determinism is what matters.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let n_train = ((n as f64) * train_fraction).round() as usize;
+        let mut train = Vec::with_capacity(n_train);
+        let mut test = Vec::with_capacity(n - n_train);
+        for (k, &idx) in order.iter().enumerate() {
+            if k < n_train {
+                train.push(self.sentences[idx].clone());
+            } else {
+                test.push(self.sentences[idx].clone());
+            }
+        }
+        Split {
+            train: Corpus::from_sentences(train),
+            test: Corpus::from_sentences(test),
+        }
+    }
+}
+
+/// A train/test partition of a corpus.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Labelled training portion (`D_l`).
+    pub train: Corpus,
+    /// Held-out portion (`D_u` once tags are stripped).
+    pub test: Corpus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::BioTag::*;
+
+    fn corpus(n: usize) -> Corpus {
+        let sentences = (0..n)
+            .map(|i| {
+                Sentence::labelled(
+                    format!("s{i}"),
+                    vec!["tok".to_string(), format!("w{i}")],
+                    vec![O, if i % 3 == 0 { B } else { O }],
+                )
+            })
+            .collect();
+        Corpus::from_sentences(sentences)
+    }
+
+    #[test]
+    fn split_sizes() {
+        let c = corpus(100);
+        let sp = c.split(0.8, 7);
+        assert_eq!(sp.train.len(), 80);
+        assert_eq!(sp.test.len(), 20);
+        assert_eq!(sp.train.len() + sp.test.len(), c.len());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let c = corpus(50);
+        let a = c.split(0.5, 42);
+        let b = c.split(0.5, 42);
+        let ids = |x: &Corpus| x.sentences.iter().map(|s| s.id.clone()).collect::<Vec<_>>();
+        assert_eq!(ids(&a.train), ids(&b.train));
+        assert_eq!(ids(&a.test), ids(&b.test));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = corpus(50);
+        let a = c.split(0.5, 1);
+        let b = c.split(0.5, 2);
+        let ids = |x: &Corpus| x.sentences.iter().map(|s| s.id.clone()).collect::<Vec<_>>();
+        assert_ne!(ids(&a.train), ids(&b.train));
+    }
+
+    #[test]
+    fn split_partitions_without_loss_or_duplication() {
+        let c = corpus(37);
+        let sp = c.split(0.6, 9);
+        let mut all: Vec<String> = sp
+            .train
+            .sentences
+            .iter()
+            .chain(sp.test.sentences.iter())
+            .map(|s| s.id.clone())
+            .collect();
+        all.sort();
+        let mut expect: Vec<String> = (0..37).map(|i| format!("s{i}")).collect();
+        expect.sort();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn counts() {
+        let c = corpus(9);
+        assert_eq!(c.num_tokens(), 18);
+        assert_eq!(c.num_gold_mentions(), 3); // i = 0, 3, 6
+        assert!(c.fully_labelled());
+        assert!(!c.without_tags().fully_labelled());
+    }
+}

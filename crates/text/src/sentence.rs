@@ -1,0 +1,316 @@
+//! Sentences, token spans, and gene mentions.
+//!
+//! A [`Sentence`] is a tokenized unit of text with an identifier and
+//! optional gold BIO tags. A [`Mention`] is a half-open token span
+//! `[start, end)` naming a gene mention; conversions between tag
+//! sequences, token spans, and the BC2GM space-free character offsets
+//! live here.
+
+use crate::tag::{repair_bio, BioTag};
+
+/// A gene mention as a half-open token span `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mention {
+    /// Index of the first token of the mention.
+    pub start: usize,
+    /// One past the index of the last token of the mention.
+    pub end: usize,
+}
+
+impl Mention {
+    /// Create a mention covering tokens `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the span is empty or inverted.
+    pub fn new(start: usize, end: usize) -> Mention {
+        assert!(start < end, "empty or inverted mention span {start}..{end}");
+        Mention { start, end }
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Always false: mentions are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the span contains token index `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.start..self.end).contains(&i)
+    }
+
+    /// Whether two mentions overlap in token space.
+    pub fn overlaps(&self, other: &Mention) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// A tokenized sentence, optionally carrying gold BIO tags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sentence {
+    /// Stable identifier (BC2GM-style sentence id, e.g. `P00015731A0362`).
+    pub id: String,
+    /// Tokens in order.
+    pub tokens: Vec<String>,
+    /// Gold tags, if this sentence is labelled. When present, the length
+    /// equals `tokens.len()`.
+    pub tags: Option<Vec<BioTag>>,
+}
+
+impl Sentence {
+    /// Build a labelled sentence.
+    ///
+    /// # Panics
+    /// Panics if `tokens` and `tags` lengths differ.
+    pub fn labelled(id: impl Into<String>, tokens: Vec<String>, tags: Vec<BioTag>) -> Sentence {
+        assert_eq!(tokens.len(), tags.len(), "token/tag length mismatch");
+        Sentence { id: id.into(), tokens, tags: Some(tags) }
+    }
+
+    /// Build an unlabelled sentence.
+    pub fn unlabelled(id: impl Into<String>, tokens: Vec<String>) -> Sentence {
+        Sentence { id: id.into(), tokens, tags: None }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the sentence has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Gold mentions decoded from the gold tags, or `None` if unlabelled.
+    pub fn gold_mentions(&self) -> Option<Vec<Mention>> {
+        self.tags.as_ref().map(|t| tags_to_mentions(t))
+    }
+
+    /// The sentence text with tokens joined by single spaces.
+    pub fn text(&self) -> String {
+        self.tokens.join(" ")
+    }
+
+    /// A copy with the gold tags stripped (for use as unlabelled data in
+    /// the transductive setting).
+    pub fn without_tags(&self) -> Sentence {
+        Sentence { id: self.id.clone(), tokens: self.tokens.clone(), tags: None }
+    }
+
+    /// Space-free character offset of the start of token `i`, i.e. the
+    /// number of non-space characters strictly before it — the offset
+    /// convention of the BC2GM annotation format ("the space characters
+    /// are ignored").
+    pub fn spacefree_start(&self, i: usize) -> usize {
+        self.tokens[..i].iter().map(|t| t.chars().count()).sum()
+    }
+
+    /// Convert a token-span mention into BC2GM space-free character
+    /// offsets `(first, last)`, both inclusive, as used by the
+    /// evaluation script.
+    pub fn mention_to_offsets(&self, m: &Mention) -> (usize, usize) {
+        let first = self.spacefree_start(m.start);
+        let last = self.spacefree_start(m.end - 1)
+            + self.tokens[m.end - 1].chars().count()
+            - 1;
+        (first, last)
+    }
+
+    /// Convert BC2GM inclusive space-free offsets back into a token span,
+    /// if the offsets line up with token boundaries.
+    pub fn offsets_to_mention(&self, first: usize, last: usize) -> Option<Mention> {
+        let mut start_tok = None;
+        let mut pos = 0usize;
+        let mut end_tok = None;
+        for (i, tok) in self.tokens.iter().enumerate() {
+            let len = tok.chars().count();
+            if pos == first {
+                start_tok = Some(i);
+            }
+            if pos + len - 1 == last {
+                end_tok = Some(i + 1);
+                break;
+            }
+            pos += len;
+        }
+        match (start_tok, end_tok) {
+            (Some(s), Some(e)) if s < e => Some(Mention::new(s, e)),
+            _ => None,
+        }
+    }
+
+    /// The text of a mention (tokens joined with spaces).
+    pub fn mention_text(&self, m: &Mention) -> String {
+        self.tokens[m.start..m.end].join(" ")
+    }
+}
+
+/// Decode a BIO tag sequence into mentions. Ill-formed `I` tags (those
+/// not preceded by `B`/`I`) are treated as if they opened a mention,
+/// matching the standard lenient decoding of NER evaluators.
+pub fn tags_to_mentions(tags: &[BioTag]) -> Vec<Mention> {
+    let mut mentions = Vec::new();
+    let mut open: Option<usize> = None;
+    for (i, &t) in tags.iter().enumerate() {
+        match t {
+            BioTag::B => {
+                if let Some(s) = open.take() {
+                    mentions.push(Mention::new(s, i));
+                }
+                open = Some(i);
+            }
+            BioTag::I => {
+                if open.is_none() {
+                    open = Some(i);
+                }
+            }
+            BioTag::O => {
+                if let Some(s) = open.take() {
+                    mentions.push(Mention::new(s, i));
+                }
+            }
+        }
+    }
+    if let Some(s) = open {
+        mentions.push(Mention::new(s, tags.len()));
+    }
+    mentions
+}
+
+/// Encode mentions as a BIO tag sequence of length `len`.
+///
+/// Overlapping mentions are resolved in favour of the earlier one; the
+/// result is always well-formed BIO.
+pub fn mentions_to_tags(mentions: &[Mention], len: usize) -> Vec<BioTag> {
+    let mut tags = vec![BioTag::O; len];
+    let mut sorted: Vec<&Mention> = mentions.iter().collect();
+    sorted.sort();
+    for m in sorted {
+        debug_assert!(m.end <= len, "mention {m:?} out of range for length {len}");
+        if tags[m.start..m.end.min(len)].iter().any(|t| t.is_entity()) {
+            continue; // overlap with an earlier mention
+        }
+        tags[m.start] = BioTag::B;
+        for t in tags[m.start + 1..m.end.min(len)].iter_mut() {
+            *t = BioTag::I;
+        }
+    }
+    repair_bio(&mut tags);
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BioTag::*;
+
+    fn s(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn decode_paper_example() {
+        // Recently , the mutation of lymphocyte adaptor protein ( LNK or
+        // SH2B3 ) was detected in MPN — three mentions.
+        let tags = vec![O, O, O, O, O, B, I, I, O, B, O, B, O, O, O, O, O];
+        let mentions = tags_to_mentions(&tags);
+        assert_eq!(
+            mentions,
+            vec![Mention::new(5, 8), Mention::new(9, 10), Mention::new(11, 12)]
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mentions = vec![Mention::new(1, 3), Mention::new(5, 6)];
+        let tags = mentions_to_tags(&mentions, 7);
+        assert_eq!(tags, vec![O, B, I, O, O, B, O]);
+        assert_eq!(tags_to_mentions(&tags), mentions);
+    }
+
+    #[test]
+    fn adjacent_mentions_stay_distinct() {
+        let tags = vec![B, B, I, O];
+        assert_eq!(
+            tags_to_mentions(&tags),
+            vec![Mention::new(0, 1), Mention::new(1, 3)]
+        );
+    }
+
+    #[test]
+    fn dangling_inside_opens_mention() {
+        let tags = vec![O, I, I, O];
+        assert_eq!(tags_to_mentions(&tags), vec![Mention::new(1, 3)]);
+    }
+
+    #[test]
+    fn mention_at_sentence_end() {
+        let tags = vec![O, B, I];
+        assert_eq!(tags_to_mentions(&tags), vec![Mention::new(1, 3)]);
+    }
+
+    #[test]
+    fn overlapping_mentions_resolved() {
+        let mentions = vec![Mention::new(0, 3), Mention::new(2, 4)];
+        let tags = mentions_to_tags(&mentions, 4);
+        assert_eq!(tags, vec![B, I, I, O]);
+    }
+
+    #[test]
+    fn spacefree_offsets_match_bc2_convention() {
+        // "wilms tumor - 1" -> space-free text "wilmstumor-1";
+        // mention over all four tokens covers offsets 0..=11.
+        let sent = Sentence::unlabelled("s1", s(&["wilms", "tumor", "-", "1"]));
+        let m = Mention::new(0, 4);
+        assert_eq!(sent.mention_to_offsets(&m), (0, 11));
+        // single-token mention "tumor": starts after "wilms" (5 chars)
+        let m2 = Mention::new(1, 2);
+        assert_eq!(sent.mention_to_offsets(&m2), (5, 9));
+    }
+
+    #[test]
+    fn offsets_round_trip() {
+        let sent =
+            Sentence::unlabelled("s", s(&["the", "LNK", "gene", "(", "SH2B3", ")", "."]));
+        for start in 0..sent.len() {
+            for end in start + 1..=sent.len() {
+                let m = Mention::new(start, end);
+                let (f, l) = sent.mention_to_offsets(&m);
+                assert_eq!(sent.offsets_to_mention(f, l), Some(m));
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_offsets_rejected() {
+        let sent = Sentence::unlabelled("s", s(&["abc", "def"]));
+        // offset 1 is inside "abc"
+        assert_eq!(sent.offsets_to_mention(1, 5), None);
+    }
+
+    #[test]
+    fn mention_text_and_len() {
+        let sent = Sentence::unlabelled("s", s(&["wilms", "tumor", "-", "1"]));
+        let m = Mention::new(0, 4);
+        assert_eq!(sent.mention_text(&m), "wilms tumor - 1");
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(3));
+        assert!(!m.contains(4));
+    }
+
+    #[test]
+    fn labelled_ctor_checks_lengths() {
+        let sent = Sentence::labelled("s", s(&["a", "b"]), vec![O, B]);
+        assert_eq!(sent.gold_mentions().unwrap(), vec![Mention::new(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn labelled_ctor_rejects_mismatch() {
+        let _ = Sentence::labelled("s", s(&["a", "b"]), vec![O]);
+    }
+}

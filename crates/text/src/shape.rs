@@ -1,0 +1,140 @@
+//! Word-shape features in the BANNER style.
+//!
+//! Shapes abstract the orthography of a token: uppercase letters map to
+//! `A`, lowercase to `a`, digits to `0`, and everything else to `-`. The
+//! *brief* shape additionally collapses runs, so `SH2B3` has shape
+//! `AA0A0` and brief shape `A0A0`.
+
+/// Full word shape: one class character per input character.
+pub fn word_shape(token: &str) -> String {
+    token.chars().map(class_of).collect()
+}
+
+/// Brief word shape: the full shape with consecutive duplicate class
+/// characters collapsed to one.
+pub fn brief_shape(token: &str) -> String {
+    let mut out = String::new();
+    let mut last = None;
+    for c in token.chars().map(class_of) {
+        if last != Some(c) {
+            out.push(c);
+            last = Some(c);
+        }
+    }
+    out
+}
+
+fn class_of(c: char) -> char {
+    if c.is_uppercase() {
+        'A'
+    } else if c.is_lowercase() {
+        'a'
+    } else if c.is_ascii_digit() {
+        '0'
+    } else {
+        '-'
+    }
+}
+
+/// Orthographic predicates over a token, used as boolean CRF features.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Orthography {
+    /// Entirely uppercase letters.
+    pub all_caps: bool,
+    /// First character uppercase, at least one lowercase after.
+    pub init_cap: bool,
+    /// Mixed case inside the token (e.g. `kDa`, `RhoA`).
+    pub mixed_case: bool,
+    /// Entirely ASCII digits.
+    pub all_digits: bool,
+    /// Contains at least one digit.
+    pub has_digit: bool,
+    /// Contains letters and digits.
+    pub alphanumeric: bool,
+    /// Contains a hyphen character.
+    pub has_dash: bool,
+    /// Single punctuation character.
+    pub is_punct: bool,
+    /// Looks like a Roman numeral (I, II, IV, ...).
+    pub roman_numeral: bool,
+    /// Is a spelled-out Greek letter (alpha, beta, ...) or a Greek glyph.
+    pub greek: bool,
+    /// Single character token.
+    pub single_char: bool,
+}
+
+const GREEK_WORDS: [&str; 10] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "kappa", "lambda", "sigma", "theta", "omega",
+];
+
+/// Compute all orthographic predicates for a token.
+pub fn orthography(token: &str) -> Orthography {
+    let chars: Vec<char> = token.chars().collect();
+    let n = chars.len();
+    let n_upper = chars.iter().filter(|c| c.is_uppercase()).count();
+    let n_lower = chars.iter().filter(|c| c.is_lowercase()).count();
+    let n_digit = chars.iter().filter(|c| c.is_ascii_digit()).count();
+    let n_alpha = n_upper + n_lower;
+    let lower = token.to_lowercase();
+    Orthography {
+        all_caps: n > 0 && n_upper == n,
+        init_cap: n > 1
+            && chars[0].is_uppercase()
+            && chars[1..].iter().all(|c| c.is_lowercase()),
+        mixed_case: n_upper > 0
+            && n_lower > 0
+            && chars[1..].iter().any(|c| c.is_uppercase()),
+        all_digits: n > 0 && n_digit == n,
+        has_digit: n_digit > 0,
+        alphanumeric: n_alpha > 0 && n_digit > 0,
+        has_dash: chars.contains(&'-'),
+        is_punct: n == 1 && !chars[0].is_alphanumeric(),
+        roman_numeral: n > 0 && chars.iter().all(|c| "IVXLCDM".contains(*c)),
+        greek: GREEK_WORDS.contains(&lower.as_str())
+            || chars.iter().any(|c| ('\u{0370}'..='\u{03ff}').contains(c)),
+        single_char: n == 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(word_shape("SH2B3"), "AA0A0");
+        assert_eq!(word_shape("Wilms"), "Aaaaa");
+        assert_eq!(word_shape("il-2"), "aa-0");
+        assert_eq!(brief_shape("SH2B3"), "A0A0");
+        assert_eq!(brief_shape("Wilms"), "Aa");
+    }
+
+    #[test]
+    fn brief_shape_collapses_runs() {
+        assert_eq!(brief_shape("aaaBBB111"), "aA0");
+        assert_eq!(brief_shape(""), "");
+        assert_eq!(brief_shape("-"), "-");
+    }
+
+    #[test]
+    fn orthographic_predicates() {
+        let o = orthography("SH2B3");
+        assert!(o.has_digit && o.alphanumeric && !o.all_caps && !o.init_cap);
+        let o = orthography("LNK");
+        assert!(o.all_caps && !o.roman_numeral);
+        let o = orthography("IV");
+        assert!(o.roman_numeral && o.all_caps);
+        let o = orthography("Wilms");
+        assert!(o.init_cap && !o.mixed_case);
+        let o = orthography("kDa");
+        assert!(o.mixed_case);
+        let o = orthography("42");
+        assert!(o.all_digits && o.has_digit);
+        let o = orthography("-");
+        assert!(o.is_punct && o.has_dash && o.single_char);
+        let o = orthography("alpha");
+        assert!(o.greek);
+        let o = orthography("β");
+        assert!(o.greek);
+    }
+}

@@ -1,0 +1,105 @@
+//! Rule-based lemmatization.
+//!
+//! BANNER uses lemmas of surrounding words as features, and GraphNER's
+//! *Lexical-features* graph representation is built from "lemmas of the
+//! words in a window of length 5". A full Porter stemmer is unnecessary
+//! for this role; what matters is that inflectional variants of the
+//! filler vocabulary (`mutations`/`mutation`, `detected`/`detect`)
+//! collapse to a common key while gene symbols are left alone.
+
+/// Lemmatize a token: lowercase it and strip common English inflectional
+/// suffixes. Tokens that contain digits or are short are returned
+/// lowercased but otherwise untouched (gene symbols such as `SH2B3`
+/// must not be mangled).
+pub fn lemma(token: &str) -> String {
+    let lower = token.to_lowercase();
+    if lower.len() <= 3 || lower.chars().any(|c| c.is_ascii_digit()) {
+        return lower;
+    }
+    strip_suffix(&lower)
+}
+
+fn strip_suffix(w: &str) -> String {
+    // Ordered: longest and most specific first. Each rule requires a
+    // minimum remaining stem of 3 characters.
+    const RULES: [(&str, &str); 12] = [
+        ("ations", "ate"),
+        ("ation", "ate"),
+        ("ically", "ic"),
+        ("ingly", ""),
+        ("ities", "ity"),
+        ("iness", "y"),
+        ("ies", "y"),
+        ("ing", ""),
+        ("ied", "y"),
+        ("eds", ""),
+        ("ed", ""),
+        ("s", ""),
+    ];
+    for (suf, rep) in RULES {
+        if let Some(stem) = w.strip_suffix(suf) {
+            if stem.len() >= 3 {
+                let mut out = String::with_capacity(stem.len() + rep.len());
+                out.push_str(stem);
+                out.push_str(rep);
+                // "detect" + "" from "detected"; restore final 'e' when a
+                // consonant cluster would otherwise end "...at"/"...iz".
+                if rep.is_empty()
+                    && (out.ends_with("at") || out.ends_with("iz") || out.ends_with("us"))
+                {
+                    out.push('e');
+                }
+                return out;
+            }
+        }
+    }
+    w.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals_collapse() {
+        assert_eq!(lemma("mutations"), lemma("mutation"));
+        assert_eq!(lemma("genes"), "gene");
+        assert_eq!(lemma("studies"), "study");
+    }
+
+    #[test]
+    fn verb_forms_collapse() {
+        assert_eq!(lemma("detected"), "detect");
+        assert_eq!(lemma("detecting"), "detect");
+        assert_eq!(lemma("activated"), "activate");
+        assert_eq!(lemma("activation"), "activate");
+    }
+
+    #[test]
+    fn gene_symbols_untouched() {
+        assert_eq!(lemma("SH2B3"), "sh2b3");
+        assert_eq!(lemma("WT1"), "wt1");
+        assert_eq!(lemma("LNK"), "lnk");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(lemma("was"), "was");
+        assert_eq!(lemma("is"), "is");
+        assert_eq!(lemma("-"), "-");
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(lemma("Recently"), "recently");
+        assert_eq!(lemma("Mutation"), "mutate");
+    }
+
+    #[test]
+    fn idempotent_on_its_own_output() {
+        for w in ["mutations", "detected", "studies", "expression", "tumors"] {
+            let once = lemma(w);
+            assert_eq!(lemma(&once), once, "lemma not idempotent on {w}");
+        }
+    }
+}

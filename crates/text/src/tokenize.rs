@@ -1,0 +1,95 @@
+//! Biomedical tokenizer.
+//!
+//! The corpora in the paper are pre-tokenized with every punctuation
+//! character as its own token (e.g. `wilms tumor - 1`, `( LNK`,
+//! `patient ' s`). This tokenizer reproduces that convention: maximal
+//! runs of alphanumeric characters form tokens, and every other
+//! non-whitespace character is a single-character token.
+
+/// Tokenize raw text into BANNER-style tokens.
+///
+/// Rules:
+/// * whitespace separates tokens and is discarded;
+/// * a maximal run of ASCII alphanumerics (plus non-ASCII letters, which
+///   occur in Greek gene names such as `TGFβ`) forms one token;
+/// * any other character is emitted as a single-character token.
+///
+/// ```
+/// use graphner_text::tokenize;
+/// assert_eq!(
+///     tokenize("wilm's tumor-1 (WT1) gene"),
+///     vec!["wilm", "'", "s", "tumor", "-", "1", "(", "WT1", ")", "gene"]
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        } else if ch.is_alphanumeric() {
+            current.push(ch);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            tokens.push(ch.to_string());
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_punctuation() {
+        assert_eq!(
+            tokenize("the mutation of LNK (SH2B3) was detected."),
+            vec![
+                "the", "mutation", "of", "LNK", "(", "SH2B3", ")", "was", "detected", "."
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_gene_names() {
+        assert_eq!(tokenize("tumor-1"), vec!["tumor", "-", "1"]);
+        assert_eq!(tokenize("IL-2R alpha"), vec!["IL", "-", "2R", "alpha"]);
+    }
+
+    #[test]
+    fn apostrophes_split() {
+        assert_eq!(tokenize("patient's"), vec!["patient", "'", "s"]);
+    }
+
+    #[test]
+    fn greek_letters_kept_in_token() {
+        assert_eq!(tokenize("TGFβ pathway"), vec!["TGFβ", "pathway"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn consecutive_punctuation() {
+        assert_eq!(tokenize("a..b"), vec!["a", ".", ".", "b"]);
+    }
+
+    #[test]
+    fn no_information_lost_modulo_whitespace() {
+        let text = "Recently, the mutation of lymphocyte adaptor protein (LNK or SH2B3) was detected in MPN.";
+        let joined: String = tokenize(text).concat();
+        let spacefree: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(joined, spacefree);
+    }
+}

@@ -1,0 +1,38 @@
+//! GraphNER — corpus-level similarities and graph propagation for
+//! named entity recognition.
+//!
+//! A from-scratch Rust reproduction of *GraphNER* (Sheikhshab et al.),
+//! a transductive graph-based semi-supervised extension of CRF
+//! gene-mention taggers, together with every substrate it depends on:
+//! a linear-chain CRF, the BANNER and BANNER-ChemDNER base taggers,
+//! Brown clustering and skip-gram embeddings, the 3-gram similarity
+//! graph with label propagation, a bi-LSTM-CRF neural baseline,
+//! synthetic BC2GM/AML corpus generators, and the BioCreative II
+//! evaluation tooling (exact-match scorer, sigf significance testing,
+//! UpSet error analysis).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`text`] — tokens, BIO tags, sentences, corpora, BC2GM format;
+//! * [`crf`] — the chain CRF (orders 1 and 2) with L-BFGS training;
+//! * [`embed`] — Brown clustering, SGNS embeddings, k-means;
+//! * [`banner`] — the BANNER / BANNER-ChemDNER taggers;
+//! * [`graph`] — PMI vectors, cosine k-NN, graph propagation;
+//! * [`neural`] — the bi-LSTM-CRF baseline;
+//! * [`corpusgen`] — seeded synthetic biomedical corpora;
+//! * [`eval`] — BC2 scoring, sigf, chi-square, UpSet;
+//! * [`core`] — GraphNER itself (Algorithm 1 of the paper).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and the
+//! `graphner-bench` crate for the binaries regenerating every table and
+//! figure of the paper.
+
+pub use graphner_banner as banner;
+pub use graphner_core as core;
+pub use graphner_corpusgen as corpusgen;
+pub use graphner_crf as crf;
+pub use graphner_embed as embed;
+pub use graphner_eval as eval;
+pub use graphner_graph as graph;
+pub use graphner_neural as neural;
+pub use graphner_text as text;

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the Figure 1 mechanism — graph propagation
+//! pushes the `[tumor - 1]` vertex towards I via its I-labelled
+//! neighbours, while the subclone distractor stays O.
+
+use graphner::banner::NerConfig;
+use graphner::core::{GraphNer, GraphNerConfig};
+use graphner::crf::TrainConfig;
+use graphner::text::{tokenize, BioTag, BioTag::*, Corpus, Sentence};
+
+fn labelled(id: &str, text: &str, tags: Vec<BioTag>) -> Sentence {
+    Sentence::labelled(id, tokenize(text), tags)
+}
+
+fn build_train() -> Corpus {
+    let mut sentences = vec![
+        labelled(
+            "l0",
+            "drug response was significant in wilms tumor - 3 positive patients .",
+            vec![O, O, O, O, O, B, I, I, I, O, O, O],
+        ),
+        labelled(
+            "l1",
+            "we observed the following mutations in wilms tumor - 3 .",
+            vec![O, O, O, O, O, O, B, I, I, I, O],
+        ),
+        labelled(
+            "l2",
+            "expression of wilms tumor - 5 was low .",
+            vec![O, O, B, I, I, I, O, O, O],
+        ),
+        labelled(
+            "l3",
+            "we did not observe this mutation in the patient ' s tumor - 9 subclone .",
+            vec![O; 16],
+        ),
+        labelled("l4", "this mutation was absent in the tumor - 7 subclone .", vec![O; 11]),
+        labelled("l5", "no mutation was found .", vec![O; 5]),
+    ];
+    for k in 0..3 {
+        for s in sentences.clone() {
+            let mut s2 = s.clone();
+            s2.id = format!("{}r{k}", s.id);
+            sentences.push(s2);
+        }
+    }
+    Corpus::from_sentences(sentences)
+}
+
+#[test]
+fn tumor_dash_one_is_corrected_to_inside() {
+    let cfg = NerConfig {
+        train: TrainConfig { max_iterations: 100, ..Default::default() },
+        ..Default::default()
+    };
+    let (model, _) = GraphNer::train(&build_train(), &cfg, None, GraphNerConfig::default());
+
+    let test = Corpus::from_sentences(vec![
+        Sentence::unlabelled("u0", tokenize("mutations were found in wilms tumor - 1 .")),
+        Sentence::unlabelled(
+            "u1",
+            tokenize("we did not observe this mutation in the patient ' s tumor - 2 subclone ."),
+        ),
+    ]);
+    let out = model.test(&test);
+
+    // the dash inside the unseen gene variant "wilms tumor - 1"
+    let dash0 = test.sentences[0].tokens.iter().position(|t| t == "-").unwrap();
+    assert_eq!(
+        out.predictions[0][dash0],
+        I,
+        "gene-internal dash: {:?}",
+        out.predictions[0]
+    );
+    // the whole mention is recovered
+    assert_eq!(&out.predictions[0][4..8], &[B, I, I, I]);
+
+    // the distractor's dash stays outside
+    let dash1 = test.sentences[1].tokens.iter().rposition(|t| t == "-").unwrap();
+    assert_eq!(
+        out.predictions[1][dash1],
+        O,
+        "subclone dash: {:?}",
+        out.predictions[1]
+    );
+}
+
+#[test]
+fn reference_distributions_peak_where_gold_does() {
+    let cfg = NerConfig {
+        train: TrainConfig { max_iterations: 40, ..Default::default() },
+        ..Default::default()
+    };
+    let (model, _) = GraphNer::train(&build_train(), &cfg, None, GraphNerConfig::default());
+    // |V_l| equals the number of unique training 3-grams, all labelled
+    assert!(model.num_labelled_vertices() > 30);
+}

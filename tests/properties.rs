@@ -1,0 +1,158 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use graphner::crf::{viterbi_tags, ChainCrf, Order, SentenceFeatures};
+use graphner::graph::{propagate, KnnGraph, PropagationParams, SparseVec};
+use graphner::text::sentence::{mentions_to_tags, tags_to_mentions};
+use graphner::text::{tokenize, BioTag, Mention, Sentence};
+use proptest::prelude::*;
+
+fn arb_tags(max_len: usize) -> impl Strategy<Value = Vec<BioTag>> {
+    prop::collection::vec(0usize..3, 1..max_len).prop_map(|v| {
+        // repair into a well-formed sequence
+        let mut tags: Vec<BioTag> = v.into_iter().map(BioTag::from_index).collect();
+        graphner::text::tag::repair_bio(&mut tags);
+        tags
+    })
+}
+
+proptest! {
+    #[test]
+    fn bio_mention_round_trip(tags in arb_tags(24)) {
+        let mentions = tags_to_mentions(&tags);
+        let rebuilt = mentions_to_tags(&mentions, tags.len());
+        prop_assert_eq!(tags_to_mentions(&rebuilt), mentions);
+    }
+
+    #[test]
+    fn mentions_never_overlap(tags in arb_tags(24)) {
+        let mentions = tags_to_mentions(&tags);
+        for pair in mentions.windows(2) {
+            prop_assert!(!pair[0].overlaps(&pair[1]));
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn tokenizer_preserves_nonwhitespace(text in "[ a-zA-Z0-9().,'-]{0,60}") {
+        let joined: String = tokenize(&text).concat();
+        let spacefree: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(joined, spacefree);
+    }
+
+    #[test]
+    fn spacefree_offsets_round_trip(
+        words in prop::collection::vec("[a-zA-Z0-9]{1,6}", 1..10),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let n = words.len();
+        let start = ((n as f64 - 1.0) * start_frac) as usize;
+        let end = (start + 1 + ((n - start - 1) as f64 * len_frac) as usize).min(n);
+        let sentence = Sentence::unlabelled("p", words);
+        let m = Mention::new(start, end);
+        let (f, l) = sentence.mention_to_offsets(&m);
+        prop_assert_eq!(sentence.offsets_to_mention(f, l), Some(m));
+    }
+
+    #[test]
+    fn crf_posteriors_are_distributions(
+        seed in 1u64..1000,
+        len in 1usize..8,
+    ) {
+        let mut crf = ChainCrf::new(Order::One, 6);
+        let mut state = seed;
+        let params: Vec<f64> = (0..crf.num_params()).map(|_| {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            ((state % 400) as f64 / 100.0) - 2.0
+        }).collect();
+        crf.set_params(params);
+        let obs = (0..len).map(|i| vec![(i % 6) as u32]).collect();
+        let sent = SentenceFeatures { obs, gold: None };
+        for row in crf.posteriors(&sent) {
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn viterbi_tags_is_argmax_over_samples(
+        probs in prop::collection::vec((0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0), 1..5),
+    ) {
+        // normalize node beliefs
+        let nodes: Vec<[f64; 3]> = probs.iter().map(|&(a, b, c)| {
+            let z = a + b + c;
+            [a / z, b / z, c / z]
+        }).collect();
+        let trans = [[1.0 / 3.0; 3]; 3];
+        let best = viterbi_tags(&nodes, &trans);
+        let score = |tags: &[BioTag]| -> f64 {
+            tags.iter().enumerate().map(|(i, t)| nodes[i][t.index()].ln()).sum()
+        };
+        let best_score = score(&best);
+        // exhaustive check (≤ 81 paths)
+        let l = nodes.len();
+        for code in 0..3usize.pow(l as u32) {
+            let mut c = code;
+            let tags: Vec<BioTag> = (0..l).map(|_| {
+                let t = BioTag::from_index(c % 3);
+                c /= 3;
+                t
+            }).collect();
+            prop_assert!(score(&tags) <= best_score + 1e-9);
+        }
+    }
+
+    #[test]
+    fn propagation_output_stays_in_simplex(
+        n in 2usize..20,
+        k in 1usize..4,
+        mu in 1e-6f64..1.0,
+        nu in 1e-6f64..1.0,
+        anchor in 0.0f64..2.0,
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17; state
+        };
+        let adj: Vec<Vec<(u32, f32)>> = (0..n).map(|i| {
+            (0..k).map(|_| {
+                let mut nb = (next() % n as u64) as u32;
+                if nb as usize == i { nb = (nb + 1) % n as u32; }
+                (nb, ((next() % 999) + 1) as f32 / 1000.0)
+            }).collect()
+        }).collect();
+        let g = KnnGraph::from_adjacency(adj, k);
+        let mut x: Vec<[f64; 3]> = (0..n).map(|_| {
+            let a = ((next() % 1000) as f64 + 1.0) / 1001.0;
+            let b = ((next() % 1000) as f64 + 1.0) / 1001.0;
+            let c = ((next() % 1000) as f64 + 1.0) / 1001.0;
+            let z = a + b + c;
+            [a / z, b / z, c / z]
+        }).collect();
+        let x_ref: Vec<Option<[f64; 3]>> = (0..n).map(|i| {
+            if i % 2 == 0 { Some([0.6, 0.3, 0.1]) } else { None }
+        }).collect();
+        propagate(&g, &mut x, &x_ref, &PropagationParams {
+            mu, nu, iterations: 4, self_anchor: anchor,
+        });
+        for d in &x {
+            let s: f64 = d.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "sum {s}");
+            prop_assert!(d.iter().all(|&p| p >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn cosine_bounded_for_nonnegative_vectors(
+        a in prop::collection::vec((0u32..50, 0.01f32..10.0), 1..12),
+        b in prop::collection::vec((0u32..50, 0.01f32..10.0), 1..12),
+    ) {
+        let va = SparseVec::from_pairs(a);
+        let vb = SparseVec::from_pairs(b);
+        let c = va.cosine(&vb);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&c), "cosine {c}");
+        prop_assert!((va.cosine(&va) - 1.0).abs() < 1e-5);
+    }
+}
