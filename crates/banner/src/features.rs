@@ -313,11 +313,7 @@ mod tests {
         let mut counts = FxHashMap::default();
         counts.insert("X".to_string(), 2u32);
         let idx = FeatureIndex::build(&counts, 1);
-        let ids = idx.ids(&[
-            "X".to_string(),
-            "Y".to_string(),
-            "X".to_string(),
-        ]);
+        let ids = idx.ids(&["X".to_string(), "Y".to_string(), "X".to_string()]);
         assert_eq!(ids, vec![0]);
     }
 

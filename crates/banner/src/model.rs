@@ -5,9 +5,7 @@
 //! on a labelled corpus, then expose per-token tag posteriors, the
 //! tag-level transition matrix, and Viterbi predictions.
 
-use crate::features::{
-    extract_features, DistributionalResources, FeatureIndex, FeatureSet,
-};
+use crate::features::{extract_features, DistributionalResources, FeatureIndex, FeatureSet};
 use graphner_crf::{ChainCrf, Order, SentenceFeatures, TrainConfig, TrainReport};
 use graphner_text::{BioTag, Corpus, Sentence, NUM_TAGS};
 use rustc_hash::FxHashMap;
@@ -88,12 +86,7 @@ impl NerModel {
         let index = FeatureIndex::build(&counts, cfg.min_feature_count);
 
         // Pass 2: extract id features.
-        let mut model = NerModel {
-            system,
-            index,
-            crf: ChainCrf::new(cfg.order, 0),
-            dist,
-        };
+        let mut model = NerModel { system, index, crf: ChainCrf::new(cfg.order, 0), dist };
         let data: Vec<SentenceFeatures> = corpus
             .sentences
             .iter()
@@ -178,9 +171,8 @@ mod tests {
     /// A small but learnable training corpus: capitalized alphanumeric
     /// symbols after "the"/"of" are genes.
     fn toy_corpus() -> Corpus {
-        let mk = |id: &str, text: &str, tags: Vec<BioTag>| {
-            Sentence::labelled(id, tokenize(text), tags)
-        };
+        let mk =
+            |id: &str, text: &str, tags: Vec<BioTag>| Sentence::labelled(id, tokenize(text), tags);
         Corpus::from_sentences(vec![
             mk("s0", "the WT1 gene was expressed", vec![O, B, O, O, O]),
             mk("s1", "mutation of SH2B3 was detected", vec![O, O, B, O, O]),

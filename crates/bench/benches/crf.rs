@@ -25,9 +25,7 @@ fn synthetic_data(
             let obs = (0..len)
                 .map(|_| (0..feats_per_tok).map(|_| (next() % num_obs as u64) as u32).collect())
                 .collect();
-            let gold = (0..len)
-                .map(|_| BioTag::from_index((next() % 3) as usize))
-                .collect();
+            let gold = (0..len).map(|_| BioTag::from_index((next() % 3) as usize)).collect();
             SentenceFeatures { obs, gold: Some(gold) }
         })
         .collect()
@@ -45,15 +43,11 @@ fn bench_crf(c: &mut Criterion) {
         crf.set_params(params);
         let label = format!("{order:?}");
         let mut grad = vec![0.0; crf.num_params()];
-        group.bench_with_input(
-            BenchmarkId::new("objective_gradient", &label),
-            &label,
-            |b, _| b.iter(|| crf.objective(&data, 1.0, &mut grad)),
-        );
+        group.bench_with_input(BenchmarkId::new("objective_gradient", &label), &label, |b, _| {
+            b.iter(|| crf.objective(&data, 1.0, &mut grad))
+        });
         group.bench_with_input(BenchmarkId::new("posteriors", &label), &label, |b, _| {
-            b.iter(|| {
-                data.iter().take(50).map(|s| crf.posteriors(s).len()).sum::<usize>()
-            })
+            b.iter(|| data.iter().take(50).map(|s| crf.posteriors(s).len()).sum::<usize>())
         });
         group.bench_with_input(BenchmarkId::new("viterbi", &label), &label, |b, _| {
             b.iter(|| data.iter().take(50).map(|s| crf.viterbi(s).len()).sum::<usize>())

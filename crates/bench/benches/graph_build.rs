@@ -5,7 +5,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphner_graph::{knn_inverted_index, VertexFeatureCounts};
 
-fn synthetic_counts(num_vertices: u32, feats_per_vertex: usize, num_features: u32, seed: u64) -> VertexFeatureCounts {
+fn synthetic_counts(
+    num_vertices: u32,
+    feats_per_vertex: usize,
+    num_features: u32,
+    seed: u64,
+) -> VertexFeatureCounts {
     let mut state = seed.max(1);
     let mut next = move || {
         state ^= state << 13;

@@ -32,9 +32,8 @@ fn random_graph(n: usize, k: usize, seed: u64) -> KnnGraph {
 fn setup(n: usize, k: usize) -> (KnnGraph, Vec<LabelDist>, Vec<Option<LabelDist>>) {
     let g = random_graph(n, k, 7);
     let x = vec![[1.0 / 3.0; 3]; n];
-    let x_ref: Vec<Option<LabelDist>> = (0..n)
-        .map(|i| if i % 3 == 0 { Some([0.8, 0.1, 0.1]) } else { None })
-        .collect();
+    let x_ref: Vec<Option<LabelDist>> =
+        (0..n).map(|i| if i % 3 == 0 { Some([0.8, 0.1, 0.1]) } else { None }).collect();
     (g, x, x_ref)
 }
 
@@ -60,12 +59,12 @@ fn bench_propagation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("iterations", iters), &iters, |b, &it| {
             b.iter(|| {
                 let mut x = x0.clone();
-                propagate(&g, &mut x, &x_ref, &PropagationParams {
-                    mu: 1e-6,
-                    nu: 1e-6,
-                    iterations: it,
-                    self_anchor: 0.5,
-                });
+                propagate(
+                    &g,
+                    &mut x,
+                    &x_ref,
+                    &PropagationParams { mu: 1e-6, nu: 1e-6, iterations: it, self_anchor: 0.5 },
+                );
                 x
             })
         });
@@ -75,12 +74,12 @@ fn bench_propagation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("K", k), &k, |b, _| {
             b.iter(|| {
                 let mut x = x0.clone();
-                propagate(&g, &mut x, &x_ref, &PropagationParams {
-                    mu: 1e-6,
-                    nu: 1e-6,
-                    iterations: 3,
-                    self_anchor: 0.5,
-                });
+                propagate(
+                    &g,
+                    &mut x,
+                    &x_ref,
+                    &PropagationParams { mu: 1e-6, nu: 1e-6, iterations: 3, self_anchor: 0.5 },
+                );
                 x
             })
         });

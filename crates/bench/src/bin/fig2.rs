@@ -50,9 +50,7 @@ fn main() {
             // BANNER's own cost: CRF train + the posterior/Viterbi pass
             let banner = train_out.crf_seconds + out.timings.posterior_seconds;
             // GraphNER: everything
-            let graphner = train_out.crf_seconds
-                + train_out.ref_seconds
-                + out.timings.total();
+            let graphner = train_out.crf_seconds + train_out.ref_seconds + out.timings.total();
             banner_s += banner;
             graphner_s += graphner;
             added_s += graphner - banner;
@@ -67,4 +65,5 @@ fn main() {
             100.0 * added_s / banner_s
         );
     }
+    graphner_bench::finish(&opts);
 }

@@ -58,4 +58,5 @@ fn main() {
         "\nvertices in the lowest quarter of the influence range: {:.1}%",
         100.0 * low as f64 / stats.num_vertices as f64
     );
+    graphner_bench::finish(&opts);
 }

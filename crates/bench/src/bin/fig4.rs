@@ -13,4 +13,5 @@ fn main() {
     let opts = RunOptions::from_args();
     let corpus = generate(&CorpusProfile::aml().scaled(opts.scale));
     run_fp_analysis(&corpus, &opts, "Figure 4", "AML");
+    graphner_bench::finish(&opts);
 }

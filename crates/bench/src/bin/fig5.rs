@@ -13,4 +13,5 @@ fn main() {
     let opts = RunOptions::from_args();
     let corpus = generate(&CorpusProfile::bc2gm().scaled(opts.scale));
     run_fp_analysis(&corpus, &opts, "Figure 5", "BC2GM");
+    graphner_bench::finish(&opts);
 }

@@ -31,4 +31,5 @@ fn main() {
             stats.largest_component
         );
     }
+    graphner_bench::finish(&opts);
 }

@@ -17,7 +17,7 @@ fn main() {
     let mut runs = Vec::new();
     for seed_run in 0..opts.seeds {
         let profile = reseeded(CorpusProfile::bc2gm(), seed_run).scaled(opts.scale);
-        eprintln!(
+        graphner_obs::obs_summary!(
             "[seed {}/{}] BC2GM profile, {} train / {} test sentences",
             seed_run + 1,
             opts.seeds,
@@ -59,4 +59,5 @@ fn main() {
         (g_chem.f_score - chem.f_score) * 100.0,
         (g_chem.precision - chem.precision) * 100.0
     );
+    graphner_bench::finish(&opts);
 }

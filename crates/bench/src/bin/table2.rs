@@ -16,7 +16,7 @@ fn main() {
     let mut runs = Vec::new();
     for seed_run in 0..opts.seeds {
         let profile = reseeded(CorpusProfile::aml(), seed_run).scaled(opts.scale);
-        eprintln!(
+        graphner_obs::obs_summary!(
             "[seed {}/{}] AML profile, {} train / {} test sentences",
             seed_run + 1,
             opts.seeds,
@@ -43,10 +43,9 @@ fn main() {
     }
 
     let find = |name: &str| means.iter().find(|m| m.name == name).unwrap();
-    for (base, graph) in [
-        ("BANNER", "GraphNER (CRF=BANNER)"),
-        ("BANNER-ChemDNER", "GraphNER (CRF=BANNER-ChemDNER)"),
-    ] {
+    for (base, graph) in
+        [("BANNER", "GraphNER (CRF=BANNER)"), ("BANNER-ChemDNER", "GraphNER (CRF=BANNER-ChemDNER)")]
+    {
         let b = find(base);
         let g = find(graph);
         println!(
@@ -56,4 +55,5 @@ fn main() {
             (g.recall - b.recall) * 100.0
         );
     }
+    graphner_bench::finish(&opts);
 }

@@ -15,16 +15,20 @@ use graphner_corpusgen::{generate, CorpusProfile};
 fn main() {
     let opts = RunOptions::from_args();
     let profile = CorpusProfile::bc2gm().scaled(opts.scale);
-    eprintln!(
+    graphner_obs::obs_summary!(
         "BC2GM profile, {} train / {} test sentences",
-        profile.train_sentences, profile.test_sentences
+        profile.train_sentences,
+        profile.test_sentences
     );
     let corpus = generate(&profile);
     let test_unlabelled = corpus.test.without_tags();
     let mut unlabelled = corpus.train.without_tags();
     unlabelled.sentences.extend(test_unlabelled.sentences.iter().cloned());
 
-    println!("\n=== Table III: effect of vertex representations (BC2GM profile, scale {}) ===", opts.scale);
+    println!(
+        "\n=== Table III: effect of vertex representations (BC2GM profile, scale {}) ===",
+        opts.scale
+    );
     println!("{:<18} {:<22} {:>4} {:>10}", "CRF Model", "Vector-Representation", "K", "F-Score(%)");
 
     for chemdner in [false, true] {
@@ -70,8 +74,7 @@ fn main() {
             };
             let variant = gner.reconfigured(cfg);
             let out = variant.test(&test_unlabelled);
-            let (eval, _) =
-                eval_predictions(&corpus.test, &corpus.test_gold, &out.predictions);
+            let (eval, _) = eval_predictions(&corpus.test, &corpus.test_gold, &out.predictions);
             println!(
                 "{:<18} {:<22} {:>4} {:>10.2}",
                 base_name,
@@ -81,4 +84,5 @@ fn main() {
             );
         }
     }
+    graphner_bench::finish(&opts);
 }

@@ -41,12 +41,8 @@ fn main() {
                 None
             };
             let base_name = if chemdner { "BANNER-ChemDNER" } else { "BANNER" };
-            let (gner, _) = GraphNer::train(
-                &split.train,
-                &opts.ner_config(),
-                dist,
-                GraphNerConfig::default(),
-            );
+            let (gner, _) =
+                GraphNer::train(&split.train, &opts.ner_config(), dist, GraphNerConfig::default());
 
             let mut best: Option<(f64, (f64, f64, f64, usize))> = None;
             for alpha in [0.02, 0.1, 0.3] {
@@ -55,7 +51,12 @@ fn main() {
                         for iterations in [2usize, 3] {
                             let cfg = GraphNerConfig {
                                 alpha,
-                                propagation: PropagationParams { mu, nu, iterations, self_anchor: 0.5 },
+                                propagation: PropagationParams {
+                                    mu,
+                                    nu,
+                                    iterations,
+                                    self_anchor: 0.5,
+                                },
                                 ..GraphNerConfig::default()
                             };
                             let variant = gner.reconfigured(cfg);
@@ -83,4 +84,5 @@ fn main() {
             );
         }
     }
+    graphner_bench::finish(&opts);
 }

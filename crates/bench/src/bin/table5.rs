@@ -49,6 +49,7 @@ fn main() {
             }
         }
     }
+    graphner_bench::finish(&opts);
 }
 
 fn format_p(p: f64) -> String {

@@ -1,13 +1,12 @@
 //! The experiment pipeline shared by all table/figure binaries.
 
 use graphner_banner::{DistributionalConfig, DistributionalResources, NerConfig};
-use graphner_core::{
-    annotations_from_predictions, GraphNer, GraphNerConfig, TestOutput,
-};
+use graphner_core::{annotations_from_predictions, GraphNer, GraphNerConfig, TestOutput};
 use graphner_corpusgen::GeneratedCorpus;
 use graphner_crf::{Order, TrainConfig};
 use graphner_embed::{BrownConfig, KMeansConfig, SgnsConfig};
 use graphner_eval::{evaluate, Evaluation};
+use graphner_obs::obs_summary;
 use graphner_text::{AnnotationSet, BioTag, Corpus};
 
 /// Command-line options common to every experiment binary.
@@ -21,17 +20,26 @@ pub struct RunOptions {
     pub order: Order,
     /// Number of generator seeds to average over.
     pub seeds: usize,
+    /// Write the global metric registry as JSONL to this path on
+    /// [`finish`].
+    pub metrics_out: Option<String>,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { scale: 0.08, with_neural: false, order: Order::One, seeds: 3 }
+        RunOptions {
+            scale: 0.08,
+            with_neural: false,
+            order: Order::One,
+            seeds: 3,
+            metrics_out: None,
+        }
     }
 }
 
 impl RunOptions {
-    /// Parse `--full`, `--scale <f>`, `--with-neural`, `--order2` from
-    /// `std::env::args`.
+    /// Parse `--full`, `--scale <f>`, `--with-neural`, `--order2`,
+    /// `--seeds <n>`, `--metrics-out <path>` from `std::env::args`.
     pub fn from_args() -> RunOptions {
         let mut opts = RunOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -48,6 +56,11 @@ impl RunOptions {
                 "--seeds" => {
                     i += 1;
                     opts.seeds = args[i].parse().expect("--seeds needs a number");
+                }
+                "--metrics-out" => {
+                    i += 1;
+                    opts.metrics_out =
+                        Some(args.get(i).expect("--metrics-out needs a path").clone());
                 }
                 other => panic!("unknown argument {other}"),
             }
@@ -76,6 +89,17 @@ impl RunOptions {
             sgns: SgnsConfig { dim: 32, epochs: 3, min_count: 2, ..Default::default() },
             kmeans: KMeansConfig { k: 24, ..Default::default() },
         }
+    }
+}
+
+/// End-of-run observability flush, called last by every experiment
+/// binary: writes the accumulated global metrics as JSONL when
+/// `--metrics-out <path>` was given.
+pub fn finish(opts: &RunOptions) {
+    if let Some(path) = &opts.metrics_out {
+        let jsonl = graphner_obs::Registry::global().export_jsonl();
+        std::fs::write(path, jsonl).expect("write --metrics-out file");
+        obs_summary!("metrics written to {path}");
     }
 }
 
@@ -139,16 +163,17 @@ pub fn run_corpus_comparison(corpus: &GeneratedCorpus, opts: &RunOptions) -> Cor
         } else {
             None
         };
-        let base_name =
-            if chemdner { "BANNER-ChemDNER".to_string() } else { "BANNER".to_string() };
+        let base_name = if chemdner { "BANNER-ChemDNER".to_string() } else { "BANNER".to_string() };
         let gcfg = GraphNerConfig::table_iv(&corpus.profile.name, chemdner);
-        let (gner, _train_out) =
-            GraphNer::train(&corpus.train, &opts.ner_config(), dist, gcfg);
+        let (gner, _train_out) = GraphNer::train(&corpus.train, &opts.ner_config(), dist, gcfg);
         let out = gner.test(&test_unlabelled);
 
-        let (base_eval, base_det) =
-            eval_predictions(&corpus.test, gold, &out.base_predictions);
-        systems.push(SystemResult { name: base_name.clone(), eval: base_eval, detections: base_det });
+        let (base_eval, base_det) = eval_predictions(&corpus.test, gold, &out.base_predictions);
+        systems.push(SystemResult {
+            name: base_name.clone(),
+            eval: base_eval,
+            detections: base_det,
+        });
 
         let (g_eval, g_det) = eval_predictions(&corpus.test, gold, &out.predictions);
         let g_name = format!("GraphNER (CRF={base_name})");
@@ -215,7 +240,10 @@ pub fn mean_over_seeds(runs: &[Vec<SystemResult>]) -> Vec<MeanResult> {
 }
 
 /// A corpus profile with its seed varied per run.
-pub fn reseeded(mut profile: graphner_corpusgen::CorpusProfile, run: usize) -> graphner_corpusgen::CorpusProfile {
+pub fn reseeded(
+    mut profile: graphner_corpusgen::CorpusProfile,
+    run: usize,
+) -> graphner_corpusgen::CorpusProfile {
     profile.seed = profile.seed.wrapping_add(run as u64 * 0x9E37);
     profile
 }

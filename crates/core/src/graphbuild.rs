@@ -8,6 +8,7 @@
 use crate::config::GraphFeatureSet;
 use graphner_banner::{extract_features, FeatureSet, NerModel};
 use graphner_graph::{knn_inverted_index, KnnGraph, VertexFeatureCounts};
+use graphner_obs::{obs_debug, obs_summary, span};
 use graphner_text::{Sentence, TrigramInterner, Vocab};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -80,38 +81,65 @@ pub fn build_graph(
     // model before feature filtering.
     let allowed: Option<FxHashSet<String>> = match feature_set {
         GraphFeatureSet::MiThreshold(tau) => {
+            let _s = span("graph.mi_filter");
             let mi = feature_tag_mi(model, sentences);
-            Some(mi.into_iter().filter(|&(_, m)| m > tau).map(|(f, _)| f).collect())
+            let total = mi.len();
+            let allow: FxHashSet<String> =
+                mi.into_iter().filter(|&(_, m)| m > tau).map(|(f, _)| f).collect();
+            obs_debug!(
+                "graph: MI filter keeps {}/{} features above tau {tau:.3e}",
+                allow.len(),
+                total
+            );
+            Some(allow)
         }
         _ => None,
     };
 
     let mut feature_vocab = Vocab::new();
     let mut counts = VertexFeatureCounts::new();
-    let mut buf = Vec::new();
-    for sentence in sentences {
-        for i in 0..sentence.len() {
-            let v = interner.intern_at(sentence, i);
-            match feature_set {
-                GraphFeatureSet::Lexical => {
-                    extract_features(sentence, i, FeatureSet::Lexical, None, &mut buf)
-                }
-                _ => model.feature_strings(sentence, i, &mut buf),
-            }
-            buf.sort_unstable();
-            buf.dedup();
-            for f in &buf {
-                if let Some(allow) = &allowed {
-                    if !allow.contains(f) {
-                        continue;
+    {
+        let _s = span("graph.vectors");
+        let mut buf = Vec::new();
+        for sentence in sentences {
+            for i in 0..sentence.len() {
+                let v = interner.intern_at(sentence, i);
+                match feature_set {
+                    GraphFeatureSet::Lexical => {
+                        extract_features(sentence, i, FeatureSet::Lexical, None, &mut buf)
                     }
+                    _ => model.feature_strings(sentence, i, &mut buf),
                 }
-                counts.add(v, feature_vocab.intern(f), 1.0);
+                buf.sort_unstable();
+                buf.dedup();
+                for f in &buf {
+                    if let Some(allow) = &allowed {
+                        if !allow.contains(f) {
+                            continue;
+                        }
+                    }
+                    counts.add(v, feature_vocab.intern(f), 1.0);
+                }
             }
         }
     }
-    let vectors = counts.pmi_vectors(interner.len());
-    knn_inverted_index(&vectors, k)
+    let vectors = {
+        let _s = span("graph.pmi");
+        counts.pmi_vectors(interner.len())
+    };
+    let graph = {
+        let _s = span("graph.knn");
+        knn_inverted_index(&vectors, k)
+    };
+    graphner_obs::counter("graph.vertices").add(graph.num_vertices() as u64);
+    graphner_obs::counter("graph.features").add(feature_vocab.len() as u64);
+    obs_summary!(
+        "graph build: {} vertices, {} features, {} edges (k = {k})",
+        graph.num_vertices(),
+        feature_vocab.len(),
+        graph.num_edges()
+    );
+    graph
 }
 
 #[cfg(test)]
@@ -208,8 +236,7 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         // with a permissive threshold the graph has edges
         let mut interner2 = TrigramInterner::new();
-        let g2 =
-            build_graph(&model, &mut interner2, &refs, GraphFeatureSet::MiThreshold(1e-6), 3);
+        let g2 = build_graph(&model, &mut interner2, &refs, GraphFeatureSet::MiThreshold(1e-6), 3);
         assert!(g2.num_edges() > 0);
     }
 }

@@ -18,10 +18,11 @@
 use crate::config::GraphNerConfig;
 use crate::graphbuild::build_graph;
 use crate::stats::GraphStats;
-use crate::timings::TestTimings;
+use crate::timings::{stage, TestTimings};
 use graphner_banner::{DistributionalResources, NerConfig, NerModel};
 use graphner_crf::{viterbi_tags, TrainReport};
-use graphner_graph::{propagate, LabelDist, UNIFORM};
+use graphner_graph::{propagate, LabelDist, PropagationReport, UNIFORM};
+use graphner_obs::{obs_summary, span, with_capture};
 use graphner_text::{BioTag, Corpus, Sentence, TrigramInterner, NUM_TAGS};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
@@ -106,8 +107,14 @@ pub struct TestOutput {
     pub base_predictions: Vec<Vec<BioTag>>,
     /// Graph statistics (§III-D).
     pub stats: GraphStats,
-    /// Stage wall-times (Fig. 2).
+    /// Stage wall-times (Fig. 2), reconstructed from the recorded
+    /// `graphner-obs` stage spans.
     pub timings: TestTimings,
+    /// Propagation sweeps actually performed (equation 2).
+    pub propagation_iterations: usize,
+    /// Whether the final propagation residual fell below
+    /// [`graphner_graph::CONVERGENCE_TOL`] within the sweep budget.
+    pub converged: bool,
 }
 
 impl GraphNer {
@@ -151,14 +158,7 @@ impl GraphNer {
 
         let transitions = empirical_transitions(train, 0.1, cfg.trans_power);
         (
-            GraphNer {
-                base,
-                cfg,
-                interner,
-                x_ref,
-                transitions,
-                train_corpus: train.clone(),
-            },
+            GraphNer { base, cfg, interner, x_ref, transitions, train_corpus: train.clone() },
             TrainOutput { report, crf_seconds, ref_seconds },
         )
     }
@@ -200,111 +200,137 @@ impl GraphNer {
     }
 
     /// TEST (Algorithm 1, lines 4–9), transductively over this test set.
+    ///
+    /// Each stage runs inside a `graphner-obs` span named by
+    /// [`crate::timings::stage`]; the returned [`TestTimings`] is built
+    /// from those recorded spans.
     pub fn test(&self, test: &Corpus) -> TestOutput {
-        let mut timings = TestTimings::default();
         let mut interner = self.interner.clone();
 
-        // Line 5: CRF posteriors over D_l ∪ D_u (rayon over sentences).
-        let t0 = Instant::now();
-        let all_sentences: Vec<&Sentence> = self
-            .train_corpus
-            .sentences
-            .iter()
-            .chain(test.sentences.iter())
-            .collect();
-        let posteriors: Vec<Vec<LabelDist>> = all_sentences
-            .par_iter()
-            .map(|s| self.base.posteriors(s))
-            .collect();
-        let transitions = self.transitions;
-        timings.posterior_seconds = t0.elapsed().as_secs_f64();
+        let ((predictions, base_predictions, stats, report), spans) = with_capture(|| {
+            // Line 5: CRF posteriors over D_l ∪ D_u (rayon over
+            // sentences).
+            let all_sentences: Vec<&Sentence> =
+                self.train_corpus.sentences.iter().chain(test.sentences.iter()).collect();
+            let posteriors: Vec<Vec<LabelDist>> = {
+                let _s = span(stage::POSTERIORS);
+                all_sentences.par_iter().map(|s| self.base.posteriors(s)).collect()
+            };
+            let transitions = self.transitions;
 
-        // Graph construction over the whole partially labelled corpus.
-        let t1 = Instant::now();
-        let graph = build_graph(
-            &self.base,
-            &mut interner,
-            &all_sentences,
-            self.cfg.feature_set,
-            self.cfg.k,
-        );
-        timings.graph_seconds = t1.elapsed().as_secs_f64();
+            // Graph construction over the whole partially labelled
+            // corpus.
+            let graph = {
+                let _s = span(stage::GRAPH);
+                build_graph(
+                    &self.base,
+                    &mut interner,
+                    &all_sentences,
+                    self.cfg.feature_set,
+                    self.cfg.k,
+                )
+            };
 
-        // Line 6: X(v) = average posterior over occurrences of v.
-        let t2 = Instant::now();
-        let n = interner.len();
-        let mut x: Vec<LabelDist> = vec![[0.0; NUM_TAGS]; n];
-        let mut occ = vec![0.0f64; n];
-        for (sentence, post) in all_sentences.iter().zip(&posteriors) {
-            for i in 0..sentence.len() {
-                let v = interner
-                    .lookup_at(sentence, i)
-                    .expect("all corpus trigrams are interned") as usize;
-                for (xy, py) in x[v].iter_mut().zip(&post[i]) {
-                    *xy += py;
-                }
-                occ[v] += 1.0;
-            }
-        }
-        for (xv, &o) in x.iter_mut().zip(&occ) {
-            if o > 0.0 {
-                for v in xv.iter_mut() {
-                    *v /= o;
-                }
-            } else {
-                *xv = UNIFORM;
-            }
-        }
-        timings.average_seconds = t2.elapsed().as_secs_f64();
-
-        // Line 7: propagate.
-        let t3 = Instant::now();
-        let x_ref_slice: Vec<Option<LabelDist>> =
-            (0..n as u32).map(|v| self.x_ref.get(&v).copied()).collect();
-        propagate(&graph, &mut x, &x_ref_slice, &self.cfg.propagation);
-        timings.propagate_seconds = t3.elapsed().as_secs_f64();
-
-        // Lines 8–9: combine and decode each test sentence.
-        let t4 = Instant::now();
-        let test_posteriors = &posteriors[self.train_corpus.len()..];
-        let alpha = self.cfg.alpha;
-        let predictions: Vec<Vec<BioTag>> = test
-            .sentences
-            .par_iter()
-            .zip(test_posteriors.par_iter())
-            .map(|(sentence, post)| {
-                if sentence.is_empty() {
-                    return Vec::new();
-                }
-                let combined: Vec<LabelDist> = (0..sentence.len())
-                    .map(|i| {
-                        match interner.lookup_at(sentence, i) {
-                            Some(v) => {
-                                let xv = &x[v as usize];
-                                let mut d = [0.0; NUM_TAGS];
-                                for y in 0..NUM_TAGS {
-                                    d[y] = alpha * post[i][y] + (1.0 - alpha) * xv[y];
-                                }
-                                d
-                            }
-                            // 3-gram missing from the graph: fall back to
-                            // the CRF posterior alone
-                            None => post[i],
+            // Line 6: X(v) = average posterior over occurrences of v.
+            let n = interner.len();
+            let mut x: Vec<LabelDist> = vec![[0.0; NUM_TAGS]; n];
+            {
+                let _s = span(stage::AVERAGE);
+                let mut occ = vec![0.0f64; n];
+                for (sentence, post) in all_sentences.iter().zip(&posteriors) {
+                    for i in 0..sentence.len() {
+                        let v = interner
+                            .lookup_at(sentence, i)
+                            .expect("all corpus trigrams are interned")
+                            as usize;
+                        for (xy, py) in x[v].iter_mut().zip(&post[i]) {
+                            *xy += py;
                         }
+                        occ[v] += 1.0;
+                    }
+                }
+                for (xv, &o) in x.iter_mut().zip(&occ) {
+                    if o > 0.0 {
+                        for v in xv.iter_mut() {
+                            *v /= o;
+                        }
+                    } else {
+                        *xv = UNIFORM;
+                    }
+                }
+            }
+
+            // Line 7: propagate.
+            let x_ref_slice: Vec<Option<LabelDist>> =
+                (0..n as u32).map(|v| self.x_ref.get(&v).copied()).collect();
+            let report: PropagationReport = {
+                let _s = span(stage::PROPAGATE);
+                propagate(&graph, &mut x, &x_ref_slice, &self.cfg.propagation)
+            };
+
+            // Lines 8–9: combine and decode each test sentence.
+            let test_posteriors = &posteriors[self.train_corpus.len()..];
+            let alpha = self.cfg.alpha;
+            let predictions: Vec<Vec<BioTag>> = {
+                let _s = span(stage::DECODE);
+                test.sentences
+                    .par_iter()
+                    .zip(test_posteriors.par_iter())
+                    .map(|(sentence, post)| {
+                        if sentence.is_empty() {
+                            return Vec::new();
+                        }
+                        let combined: Vec<LabelDist> = (0..sentence.len())
+                            .map(|i| {
+                                match interner.lookup_at(sentence, i) {
+                                    Some(v) => {
+                                        let xv = &x[v as usize];
+                                        let mut d = [0.0; NUM_TAGS];
+                                        for y in 0..NUM_TAGS {
+                                            d[y] = alpha * post[i][y] + (1.0 - alpha) * xv[y];
+                                        }
+                                        d
+                                    }
+                                    // 3-gram missing from the graph: fall
+                                    // back to the CRF posterior alone
+                                    None => post[i],
+                                }
+                            })
+                            .collect();
+                        viterbi_tags(&combined, &transitions)
                     })
-                    .collect();
-                viterbi_tags(&combined, &transitions)
-            })
-            .collect();
-        timings.decode_seconds = t4.elapsed().as_secs_f64();
+                    .collect()
+            };
 
-        // Baseline decode for comparison (not part of Algorithm 1).
-        let base_predictions: Vec<Vec<BioTag>> =
-            test.sentences.par_iter().map(|s| self.base.predict(s)).collect();
+            // Baseline decode for comparison (not part of Algorithm 1).
+            let base_predictions: Vec<Vec<BioTag>> =
+                test.sentences.par_iter().map(|s| self.base.predict(s)).collect();
 
-        let stats = GraphStats::compute(&graph, &x_ref_slice);
+            let stats = GraphStats::compute(&graph, &x_ref_slice);
+            (predictions, base_predictions, stats, report)
+        });
 
-        TestOutput { predictions, base_predictions, stats, timings }
+        let timings = TestTimings::from_spans(&spans);
+        obs_summary!(
+            "graphner test: posteriors {:.3}s, graph {:.3}s, average {:.3}s, \
+             propagate {:.3}s, decode {:.3}s ({} sweeps, converged={})",
+            timings.posterior_seconds,
+            timings.graph_seconds,
+            timings.average_seconds,
+            timings.propagate_seconds,
+            timings.decode_seconds,
+            report.iterations,
+            report.converged
+        );
+
+        TestOutput {
+            predictions,
+            base_predictions,
+            stats,
+            timings,
+            propagation_iterations: report.iterations,
+            converged: report.converged,
+        }
     }
 }
 
@@ -342,9 +368,8 @@ mod tests {
     }
 
     fn toy_train() -> Corpus {
-        let mk = |id: &str, text: &str, tags: Vec<BioTag>| {
-            Sentence::labelled(id, tokenize(text), tags)
-        };
+        let mk =
+            |id: &str, text: &str, tags: Vec<BioTag>| Sentence::labelled(id, tokenize(text), tags);
         Corpus::from_sentences(vec![
             mk("s0", "the WT1 gene was expressed", vec![O, B, O, O, O]),
             mk("s1", "mutation of SH2B3 was detected", vec![O, O, B, O, O]),
@@ -357,23 +382,15 @@ mod tests {
 
     fn toy_test() -> Corpus {
         Corpus::from_sentences(vec![
-            Sentence::labelled(
-                "t0",
-                tokenize("the FLT3 gene was expressed"),
-                vec![O, B, O, O, O],
-            ),
+            Sentence::labelled("t0", tokenize("the FLT3 gene was expressed"), vec![O, B, O, O, O]),
             Sentence::labelled("t1", tokenize("no mutation was found"), vec![O, O, O, O]),
         ])
     }
 
     #[test]
     fn train_sets_reference_distributions() {
-        let (gner, out) = GraphNer::train(
-            &toy_train(),
-            &quick_base_cfg(),
-            None,
-            GraphNerConfig::default(),
-        );
+        let (gner, out) =
+            GraphNer::train(&toy_train(), &quick_base_cfg(), None, GraphNerConfig::default());
         assert!(out.report.objective.is_finite());
         assert!(out.crf_seconds >= 0.0);
         // every unique trigram of the training corpus is a labelled vertex
@@ -382,12 +399,8 @@ mod tests {
 
     #[test]
     fn reference_distributions_are_gold_averages() {
-        let (gner, _) = GraphNer::train(
-            &toy_train(),
-            &quick_base_cfg(),
-            None,
-            GraphNerConfig::default(),
-        );
+        let (gner, _) =
+            GraphNer::train(&toy_train(), &quick_base_cfg(), None, GraphNerConfig::default());
         // trigram [the WT1 gene] occurs once with centre tag B
         let v = gner.interner.lookup_at(&toy_train().sentences[0], 1).unwrap();
         let d = gner.x_ref[&v];
@@ -401,8 +414,7 @@ mod tests {
     fn test_produces_predictions_for_every_sentence() {
         let train = toy_train();
         let test = toy_test();
-        let (gner, _) =
-            GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
+        let (gner, _) = GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
         let out = gner.test(&test.without_tags());
         assert_eq!(out.predictions.len(), 2);
         assert_eq!(out.predictions[0].len(), 5);
@@ -416,8 +428,7 @@ mod tests {
     fn graphner_finds_gene_in_seen_context() {
         let train = toy_train();
         let test = toy_test();
-        let (gner, _) =
-            GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
+        let (gner, _) = GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
         let out = gner.test(&test.without_tags());
         // "the FLT3 gene": unseen symbol in a heavily seen gene context
         assert_eq!(out.predictions[0][1], B, "predictions: {:?}", out.predictions[0]);
@@ -449,10 +460,8 @@ mod tests {
 
     #[test]
     fn lexical_feature_set_runs_end_to_end() {
-        let cfg = GraphNerConfig {
-            feature_set: GraphFeatureSet::Lexical,
-            ..GraphNerConfig::default()
-        };
+        let cfg =
+            GraphNerConfig { feature_set: GraphFeatureSet::Lexical, ..GraphNerConfig::default() };
         let (gner, _) = GraphNer::train(&toy_train(), &quick_base_cfg(), None, cfg);
         let out = gner.test(&toy_test().without_tags());
         assert_eq!(out.predictions.len(), 2);
@@ -470,16 +479,20 @@ mod tests {
 
     #[test]
     fn timings_are_populated() {
-        let (gner, _) = GraphNer::train(
-            &toy_train(),
-            &quick_base_cfg(),
-            None,
-            GraphNerConfig::default(),
-        );
+        let (gner, _) =
+            GraphNer::train(&toy_train(), &quick_base_cfg(), None, GraphNerConfig::default());
         let out = gner.test(&toy_test().without_tags());
         let t = &out.timings;
         assert!(t.total() >= t.graph_seconds);
         assert!(t.total() > 0.0);
+        // every stage span was recorded
+        assert!(t.posterior_seconds > 0.0);
+        assert!(t.graph_seconds > 0.0);
+        assert!(t.average_seconds > 0.0);
+        assert!(t.propagate_seconds > 0.0);
+        assert!(t.decode_seconds > 0.0);
+        // the propagation report surfaces through the output
+        assert_eq!(out.propagation_iterations, gner.config().propagation.iterations);
     }
 }
 
@@ -545,9 +558,8 @@ mod inductive_tests {
 
     #[test]
     fn inductive_loop_converges_and_stays_sane() {
-        let mk = |id: &str, text: &str, tags: Vec<BioTag>| {
-            Sentence::labelled(id, tokenize(text), tags)
-        };
+        let mk =
+            |id: &str, text: &str, tags: Vec<BioTag>| Sentence::labelled(id, tokenize(text), tags);
         let train = Corpus::from_sentences(vec![
             mk("s0", "the WT1 gene was expressed", vec![O, B, O, O, O]),
             mk("s1", "mutation of SH2B3 was detected", vec![O, O, B, O, O]),

@@ -39,11 +39,7 @@ impl GraphStats {
         let labelled = x_ref.iter().filter(|r| r.is_some()).count();
         let positive = x_ref
             .iter()
-            .filter(|r| {
-                r.is_some_and(|d| {
-                    d[BioTag::B.index()] > 0.0 || d[BioTag::I.index()] > 0.0
-                })
-            })
+            .filter(|r| r.is_some_and(|d| d[BioTag::B.index()] > 0.0 || d[BioTag::I.index()] > 0.0))
             .count();
         GraphStats {
             num_vertices: n,
@@ -75,10 +71,7 @@ mod tests {
 
     #[test]
     fn computes_basic_stats() {
-        let g = KnnGraph::from_adjacency(
-            vec![vec![(1, 0.9)], vec![(0, 0.9)], vec![(0, 0.5)]],
-            1,
-        );
+        let g = KnnGraph::from_adjacency(vec![vec![(1, 0.9)], vec![(0, 0.9)], vec![(0, 0.5)]], 1);
         let x_ref = vec![Some([1.0, 0.0, 0.0]), Some([0.0, 0.0, 1.0]), None];
         let s = GraphStats::compute(&g, &x_ref);
         assert_eq!(s.num_vertices, 3);

@@ -1,5 +1,27 @@
 //! Stage wall-times of the test procedure, for the Fig. 2 cost
 //! experiments.
+//!
+//! The timings are no longer measured ad hoc: [`crate::GraphNer::test`]
+//! wraps each stage in a `graphner-obs` span and [`TestTimings`] is a
+//! *view* over the recorded [`SpanRecord`]s, keyed by the stage-name
+//! constants in [`stage`].
+
+use graphner_obs::SpanRecord;
+
+/// Span names recorded by [`crate::GraphNer::test`], one per stage of
+/// Algorithm 1's TEST procedure.
+pub mod stage {
+    /// Line 5: CRF posterior extraction over `D_l ∪ D_u`.
+    pub const POSTERIORS: &str = "test.posteriors";
+    /// Graph construction (feature vectors + k-NN).
+    pub const GRAPH: &str = "test.graph";
+    /// Line 6: posterior averaging over vertices.
+    pub const AVERAGE: &str = "test.average";
+    /// Line 7: graph propagation.
+    pub const PROPAGATE: &str = "test.propagate";
+    /// Lines 8–9: combination and Viterbi decode.
+    pub const DECODE: &str = "test.decode";
+}
 
 /// Per-stage wall seconds of [`crate::GraphNer::test`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -17,6 +39,24 @@ pub struct TestTimings {
 }
 
 impl TestTimings {
+    /// Build the per-stage timings from recorded spans. Spans whose
+    /// names are not stage names (nested sub-spans, unrelated
+    /// instrumentation) are ignored; repeated stage spans accumulate.
+    pub fn from_spans(spans: &[SpanRecord]) -> TestTimings {
+        let mut t = TestTimings::default();
+        for s in spans {
+            match s.name {
+                stage::POSTERIORS => t.posterior_seconds += s.seconds,
+                stage::GRAPH => t.graph_seconds += s.seconds,
+                stage::AVERAGE => t.average_seconds += s.seconds,
+                stage::PROPAGATE => t.propagate_seconds += s.seconds,
+                stage::DECODE => t.decode_seconds += s.seconds,
+                _ => {}
+            }
+        }
+        t
+    }
+
     /// Total test time.
     pub fn total(&self) -> f64 {
         self.posterior_seconds
@@ -48,5 +88,38 @@ mod tests {
         };
         assert!((t.total() - 4.0).abs() < 1e-12);
         assert!((t.added_over_crf() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_spans_round_trips() {
+        let spans = vec![
+            SpanRecord::synthetic(stage::POSTERIORS, 1.0),
+            SpanRecord::synthetic(stage::GRAPH, 2.0),
+            SpanRecord::synthetic(stage::AVERAGE, 0.5),
+            SpanRecord::synthetic(stage::PROPAGATE, 0.25),
+            SpanRecord::synthetic(stage::DECODE, 0.25),
+            // nested sub-spans and unrelated spans must not count
+            SpanRecord::synthetic("graph.knn", 1.5),
+            SpanRecord::synthetic("something.else", 9.0),
+        ];
+        let t = TestTimings::from_spans(&spans);
+        assert_eq!(t.posterior_seconds, 1.0);
+        assert_eq!(t.graph_seconds, 2.0);
+        assert_eq!(t.average_seconds, 0.5);
+        assert_eq!(t.propagate_seconds, 0.25);
+        assert_eq!(t.decode_seconds, 0.25);
+        assert!((t.total() - 4.0).abs() < 1e-12);
+        assert!((t.added_over_crf() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_stage_spans_accumulate() {
+        let spans = vec![
+            SpanRecord::synthetic(stage::PROPAGATE, 0.25),
+            SpanRecord::synthetic(stage::PROPAGATE, 0.75),
+        ];
+        let t = TestTimings::from_spans(&spans);
+        assert_eq!(t.propagate_seconds, 1.0);
+        assert_eq!(t.posterior_seconds, 0.0);
     }
 }

@@ -127,8 +127,16 @@ pub struct GeneratedCorpus {
     pub profile: CorpusProfile,
 }
 
-const VERBS: [&str; 8] =
-    ["mutated", "overexpressed", "silenced", "amplified", "deleted", "detected", "sequenced", "downregulated"];
+const VERBS: [&str; 8] = [
+    "mutated",
+    "overexpressed",
+    "silenced",
+    "amplified",
+    "deleted",
+    "detected",
+    "sequenced",
+    "downregulated",
+];
 const ADJS: [&str; 6] = ["low", "high", "elevated", "reduced", "significant", "absent"];
 const DISEASES: [&str; 8] =
     ["AML", "MPN", "leukemia", "lymphoma", "myeloma", "carcinoma", "sarcoma", "glioma"];
@@ -338,12 +346,8 @@ impl<'a> Generator<'a> {
         // dilute with filler clauses: optional preamble and a clause
         // inserted before the final period
         if self.rng.gen::<f64>() < 0.45 {
-            let pre: Vec<String> = FILLER_PRE
-                .choose(&mut self.rng)
-                .unwrap()
-                .split(' ')
-                .map(str::to_string)
-                .collect();
+            let pre: Vec<String> =
+                FILLER_PRE.choose(&mut self.rng).unwrap().split(' ').map(str::to_string).collect();
             let shift = pre.len();
             for m in mentions.iter_mut() {
                 *m = Mention::new(m.start + shift, m.end + shift);
@@ -420,8 +424,7 @@ fn alternatives_for(sentence: &Sentence, m: &Mention) -> Vec<Mention> {
 /// Brown clusters and embeddings from.
 pub fn generate_unlabelled(profile: &CorpusProfile, n_sentences: usize, seed: u64) -> Corpus {
     let mut seed_rng = ChaCha8Rng::seed_from_u64(profile.seed);
-    let lexicon =
-        GeneLexicon::generate(&mut seed_rng, profile.num_symbols, profile.num_multiword);
+    let lexicon = GeneLexicon::generate(&mut seed_rng, profile.num_symbols, profile.num_multiword);
     let mut gen = Generator {
         lexicon: &lexicon,
         profile,
@@ -444,8 +447,7 @@ pub fn generate_unlabelled(profile: &CorpusProfile, n_sentences: usize, seed: u6
 /// Generate a corpus pair from a profile.
 pub fn generate(profile: &CorpusProfile) -> GeneratedCorpus {
     let mut seed_rng = ChaCha8Rng::seed_from_u64(profile.seed);
-    let lexicon =
-        GeneLexicon::generate(&mut seed_rng, profile.num_symbols, profile.num_multiword);
+    let lexicon = GeneLexicon::generate(&mut seed_rng, profile.num_symbols, profile.num_multiword);
 
     let build = |lexicon: &GeneLexicon,
                  count: usize,
@@ -473,8 +475,7 @@ pub fn generate(profile: &CorpusProfile) -> GeneratedCorpus {
                 lexicon.lowercase.len()
             },
             spurious_limit: if train_partition {
-                ((lexicon.spurious.len() as f64 * profile.train_spurious_fraction) as usize)
-                    .max(1)
+                ((lexicon.spurious.len() as f64 * profile.train_spurious_fraction) as usize).max(1)
             } else {
                 lexicon.spurious.len()
             },
@@ -582,12 +583,8 @@ mod tests {
     #[test]
     fn bc2gm_has_multiword_mentions() {
         let c = small_bc2gm();
-        let has_multi = c
-            .train
-            .sentences
-            .iter()
-            .flat_map(|s| s.gold_mentions().unwrap())
-            .any(|m| m.len() >= 3);
+        let has_multi =
+            c.train.sentences.iter().flat_map(|s| s.gold_mentions().unwrap()).any(|m| m.len() >= 3);
         assert!(has_multi);
     }
 
@@ -644,24 +641,20 @@ mod tests {
     #[test]
     fn test_set_contains_unseen_genes() {
         let c = generate(&CorpusProfile::bc2gm().scaled(0.1));
-        let train_tokens: std::collections::HashSet<&str> = c
-            .train
-            .sentences
-            .iter()
-            .flat_map(|s| s.tokens.iter().map(String::as_str))
-            .collect();
-        let unseen_mentions = c
-            .test
-            .sentences
-            .iter()
-            .flat_map(|s| {
-                let toks = &s.tokens;
-                s.gold_mentions().unwrap().into_iter().map(move |m| {
-                    (m.start..m.end).map(|i| toks[i].as_str()).collect::<Vec<_>>()
+        let train_tokens: std::collections::HashSet<&str> =
+            c.train.sentences.iter().flat_map(|s| s.tokens.iter().map(String::as_str)).collect();
+        let unseen_mentions =
+            c.test
+                .sentences
+                .iter()
+                .flat_map(|s| {
+                    let toks = &s.tokens;
+                    s.gold_mentions().unwrap().into_iter().map(move |m| {
+                        (m.start..m.end).map(|i| toks[i].as_str()).collect::<Vec<_>>()
+                    })
                 })
-            })
-            .filter(|toks| toks.iter().any(|t| !train_tokens.contains(t)))
-            .count();
+                .filter(|toks| toks.iter().any(|t| !train_tokens.contains(t)))
+                .count();
         assert!(unseen_mentions > 0, "test set should contain unseen gene tokens");
     }
 
@@ -687,10 +680,8 @@ mod alignment_tests {
     /// the filler-clause insertion.
     #[test]
     fn zero_noise_mentions_align_with_lexicon_forms() {
-        let profile = CorpusProfile {
-            annotation_noise: 0.0,
-            ..CorpusProfile::bc2gm().scaled(0.05)
-        };
+        let profile =
+            CorpusProfile { annotation_noise: 0.0, ..CorpusProfile::bc2gm().scaled(0.05) };
         let c = generate(&profile);
         let mut checked = 0;
         for s in c.train.sentences.iter().chain(&c.test.sentences) {
@@ -714,12 +705,7 @@ mod alignment_tests {
             .train
             .sentences
             .iter()
-            .flat_map(|s| {
-                s.gold_mentions()
-                    .unwrap()
-                    .into_iter()
-                    .map(move |m| s.mention_text(&m))
-            })
+            .flat_map(|s| s.gold_mentions().unwrap().into_iter().map(move |m| s.mention_text(&m)))
             .filter(|t| t.len() > 1 && t.chars().all(|ch| ch.is_ascii_lowercase()))
             .count();
         assert!(lowercase_mentions > 10, "found {lowercase_mentions}");
@@ -729,12 +715,8 @@ mod alignment_tests {
     fn test_set_contains_unseen_spurious_entities() {
         let profile = CorpusProfile::bc2gm().scaled(0.1);
         let c = generate(&profile);
-        let train_tokens: std::collections::HashSet<&str> = c
-            .train
-            .sentences
-            .iter()
-            .flat_map(|s| s.tokens.iter().map(String::as_str))
-            .collect();
+        let train_tokens: std::collections::HashSet<&str> =
+            c.train.sentences.iter().flat_map(|s| s.tokens.iter().map(String::as_str)).collect();
         let unseen_spurious = c
             .lexicon
             .spurious

@@ -57,18 +57,53 @@ pub struct GeneLexicon {
 }
 
 const SURNAMES: [&str; 24] = [
-    "wilms", "hodgkin", "crohn", "marten", "kellar", "burkit", "vanteg", "rosler", "duval",
-    "hartwig", "lomen", "pritch", "ashmor", "corvin", "deller", "fenwick", "garrod", "helmut",
-    "ivers", "jarnek", "kestrel", "lindqvist", "morvan", "norden",
+    "wilms",
+    "hodgkin",
+    "crohn",
+    "marten",
+    "kellar",
+    "burkit",
+    "vanteg",
+    "rosler",
+    "duval",
+    "hartwig",
+    "lomen",
+    "pritch",
+    "ashmor",
+    "corvin",
+    "deller",
+    "fenwick",
+    "garrod",
+    "helmut",
+    "ivers",
+    "jarnek",
+    "kestrel",
+    "lindqvist",
+    "morvan",
+    "norden",
 ];
 
 const GENE_NOUNS: [&str; 10] = [
-    "tumor", "factor", "receptor", "kinase", "protein", "antigen", "ligand", "channel",
-    "transporter", "adaptor",
+    "tumor",
+    "factor",
+    "receptor",
+    "kinase",
+    "protein",
+    "antigen",
+    "ligand",
+    "channel",
+    "transporter",
+    "adaptor",
 ];
 
 const FAMILY_HEADS: [&str; 8] = [
-    "ubiquitin", "ligase", "protease", "phosphatase", "helicase", "synthase", "oxidase",
+    "ubiquitin",
+    "ligase",
+    "protease",
+    "phosphatase",
+    "helicase",
+    "synthase",
+    "oxidase",
     "reductase",
 ];
 
@@ -167,14 +202,10 @@ impl GeneLexicon {
             .iter()
             .map(|h| vec![format!("E{}", rng.gen_range(1..=4)), h.to_string()])
             .collect();
-        let domains: Vec<Vec<String>> = DOMAIN_NAMES
-            .iter()
-            .map(|d| vec![d.to_string(), "domain".to_string()])
-            .collect();
-        let mut spurious: Vec<Vec<String>> = PLACES
-            .iter()
-            .map(|(a, b)| vec![a.to_string(), b.to_string()])
-            .collect();
+        let domains: Vec<Vec<String>> =
+            DOMAIN_NAMES.iter().map(|d| vec![d.to_string(), "domain".to_string()]).collect();
+        let mut spurious: Vec<Vec<String>> =
+            PLACES.iter().map(|(a, b)| vec![a.to_string(), b.to_string()]).collect();
         // "Table 3" / "Figure 2" style tokens: capitalized + digit, the
         // shape a gene tagger over-triggers on
         for head in ["Table", "Figure", "Cohort", "Panel"] {
@@ -272,8 +303,7 @@ fn random_symbol(rng: &mut ChaCha8Rng) -> String {
 /// A random lowercase gene name: a pronounceable stem plus a
 /// biochemistry-flavoured suffix (-in, -ase, -gen, -ol).
 fn random_lowercase_gene(rng: &mut ChaCha8Rng) -> String {
-    const ONSETS: [&str; 12] =
-        ["gl", "v", "c", "tr", "br", "m", "s", "pl", "kr", "d", "fl", "n"];
+    const ONSETS: [&str; 12] = ["gl", "v", "c", "tr", "br", "m", "s", "pl", "kr", "d", "fl", "n"];
     const VOWELS: [&str; 5] = ["a", "e", "i", "o", "u"];
     const MIDS: [&str; 8] = ["rg", "st", "nd", "lv", "mp", "rt", "ss", "ct"];
     const SUFFIXES: [&str; 4] = ["in", "ase", "gen", "ol"];

@@ -204,9 +204,7 @@ impl ChainCrf {
             }
         }
         let mut cur = (0..s)
-            .max_by(|&a, &b| {
-                delta[(l - 1) * s + a].partial_cmp(&delta[(l - 1) * s + b]).unwrap()
-            })
+            .max_by(|&a, &b| delta[(l - 1) * s + a].partial_cmp(&delta[(l - 1) * s + b]).unwrap())
             .unwrap();
         let mut states = vec![0usize; l];
         states[l - 1] = cur;
@@ -225,7 +223,10 @@ impl ChainCrf {
 ///
 /// Probabilities of exactly zero are floored to a tiny constant so the
 /// decode never sees `-inf` everywhere.
-pub fn viterbi_tags(node_probs: &[[f64; NUM_TAGS]], trans: &[[f64; NUM_TAGS]; NUM_TAGS]) -> Vec<BioTag> {
+pub fn viterbi_tags(
+    node_probs: &[[f64; NUM_TAGS]],
+    trans: &[[f64; NUM_TAGS]; NUM_TAGS],
+) -> Vec<BioTag> {
     let l = node_probs.len();
     if l == 0 {
         return Vec::new();
@@ -482,9 +483,9 @@ mod tests {
         // must decode to I.
         let trans = [[0.2, 0.6, 0.2], [0.1, 0.5, 0.4], [0.5, 0.05, 0.45]];
         let nodes = vec![
-            [0.9, 0.05, 0.05], // wilms: B
-            [0.05, 0.9, 0.05], // tumor: I
-            [0.0, 0.77, 0.23], // -
+            [0.9, 0.05, 0.05],  // wilms: B
+            [0.05, 0.9, 0.05],  // tumor: I
+            [0.0, 0.77, 0.23],  // -
             [0.05, 0.85, 0.10], // 1
         ];
         assert_eq!(viterbi_tags(&nodes, &trans), vec![B, I, I, I]);

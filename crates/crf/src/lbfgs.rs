@@ -5,6 +5,12 @@
 //! two-loop recursion (Nocedal & Wright, Algorithm 7.4) and a
 //! backtracking line search enforcing the Armijo sufficient-decrease
 //! condition plus a curvature guard on the stored correction pairs.
+//!
+//! Each outer iteration reports objective, gradient norm, and accepted
+//! step size through `graphner-obs` (`GRAPHNER_LOG=debug` for the
+//! per-iteration trace; `lbfgs.*` gauges/histograms for the metrics).
+
+use graphner_obs::obs_debug;
 
 /// Configuration for [`minimize`].
 #[derive(Clone, Debug)]
@@ -180,8 +186,21 @@ where
         x.copy_from_slice(&x_new);
         g.copy_from_slice(&g_new);
         fx = fx_new;
+        obs_debug!(
+            "lbfgs: iter {:4} objective {fx:.6e} |grad| {gnorm:.3e} step {step:.3e}",
+            iter + 1
+        );
+        graphner_obs::counter("lbfgs.iterations").incr();
+        graphner_obs::gauge("lbfgs.objective").set(fx);
+        graphner_obs::gauge("lbfgs.grad_norm").set(gnorm);
+        graphner_obs::histogram("lbfgs.step_size").record(step);
         if f_decrease < cfg.f_tol {
-            return LbfgsResult { x, fx, iterations: iter + 1, reason: StopReason::ObjectiveConverged };
+            return LbfgsResult {
+                x,
+                fx,
+                iterations: iter + 1,
+                reason: StopReason::ObjectiveConverged,
+            };
         }
     }
     LbfgsResult { x, fx, iterations: cfg.max_iterations, reason: StopReason::MaxIterations }
@@ -250,7 +269,8 @@ mod tests {
             }
             v
         };
-        let cfg = LbfgsConfig { max_iterations: 2, f_tol: 0.0, grad_tol: 0.0, ..Default::default() };
+        let cfg =
+            LbfgsConfig { max_iterations: 2, f_tol: 0.0, grad_tol: 0.0, ..Default::default() };
         let res = minimize(f, vec![3.0; 4], &cfg);
         assert_eq!(res.iterations, 2);
         assert_eq!(res.reason, StopReason::MaxIterations);

@@ -192,10 +192,7 @@ mod tests {
     use graphner_text::BioTag::*;
 
     fn tiny_sent() -> SentenceFeatures {
-        SentenceFeatures {
-            obs: vec![vec![0], vec![1], vec![0, 1]],
-            gold: Some(vec![O, B, I]),
-        }
+        SentenceFeatures { obs: vec![vec![0], vec![1], vec![0, 1]], gold: Some(vec![O, B, I]) }
     }
 
     #[test]

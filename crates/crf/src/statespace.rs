@@ -207,13 +207,8 @@ mod order_comparison_tests {
         let data = second_order_data();
         let fit = |order: Order| -> usize {
             let mut crf = ChainCrf::new(order, 10);
-            crf.train(
-                &data,
-                &TrainConfig { l2: 0.01, max_iterations: 200, ..Default::default() },
-            );
-            data.iter()
-                .filter(|s| &crf.viterbi(s) == s.gold.as_ref().unwrap())
-                .count()
+            crf.train(&data, &TrainConfig { l2: 0.01, max_iterations: 200, ..Default::default() });
+            data.iter().filter(|s| &crf.viterbi(s) == s.gold.as_ref().unwrap()).count()
         };
         let order2_correct = fit(Order::Two);
         assert_eq!(order2_correct, data.len(), "order 2 must fit the skip pattern");
@@ -221,9 +216,6 @@ mod order_comparison_tests {
         // second token is O in both patterns and observations at
         // position 2 are identical
         let order1_correct = fit(Order::One);
-        assert!(
-            order1_correct < data.len(),
-            "order 1 unexpectedly fit a second-order pattern"
-        );
+        assert!(order1_correct < data.len(), "order 1 unexpectedly fit a second-order pattern");
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::lbfgs::{self, LbfgsConfig, StopReason};
 use crate::model::{ChainCrf, SentenceFeatures};
+use graphner_obs::obs_summary;
 use rayon::prelude::*;
 
 /// Training configuration.
@@ -94,10 +95,7 @@ impl ChainCrf {
         exp_trans: &[f64],
         grad: &mut [f64],
     ) -> f64 {
-        let gold = sent
-            .gold
-            .as_ref()
-            .expect("training requires labelled sentences");
+        let gold = sent.gold.as_ref().expect("training requires labelled sentences");
         let l = sent.len();
         let s = self.num_states();
         let lat = self.lattice(sent, exp_trans);
@@ -127,8 +125,7 @@ impl ChainCrf {
                 }
                 for &c in self.space().next_states(p) {
                     let c = c as usize;
-                    let xi = ap * exp_trans[p * s + c] * lat.node[i * s + c]
-                        * lat.beta[i * s + c]
+                    let xi = ap * exp_trans[p * s + c] * lat.node[i * s + c] * lat.beta[i * s + c]
                         / lat.scale[i];
                     grad[trans_off + p * s + c] += xi;
                 }
@@ -179,6 +176,13 @@ impl ChainCrf {
             &lcfg,
         );
         self.set_params(result.x);
+        obs_summary!(
+            "crf train: {} sentences, {} iterations, objective {:.6e}, stopped: {:?}",
+            data.len(),
+            result.iterations,
+            result.fx,
+            result.reason
+        );
         TrainReport { objective: result.fx, iterations: result.iterations, reason: result.reason }
     }
 }
@@ -245,10 +249,8 @@ mod tests {
         for order in [Order::One, Order::Two] {
             let (data, num_obs) = toy_data();
             let mut crf = ChainCrf::new(order, num_obs);
-            let report = crf.train(
-                &data,
-                &TrainConfig { l2: 0.01, max_iterations: 200, ..Default::default() },
-            );
+            let report = crf
+                .train(&data, &TrainConfig { l2: 0.01, max_iterations: 200, ..Default::default() });
             assert!(report.objective.is_finite());
             // the model must reproduce the training tags
             for sent in &data {
@@ -256,10 +258,8 @@ mod tests {
                 assert_eq!(&pred, sent.gold.as_ref().unwrap(), "order {order:?}");
             }
             // and generalize the lexical pattern to a new arrangement
-            let test = SentenceFeatures {
-                obs: vec![vec![3], vec![1], vec![5], vec![0]],
-                gold: None,
-            };
+            let test =
+                SentenceFeatures { obs: vec![vec![3], vec![1], vec![5], vec![0]], gold: None };
             assert_eq!(crf.viterbi(&test), vec![O, B, I, O], "order {order:?}");
         }
     }
@@ -311,8 +311,7 @@ mod tests {
         let (mut data, num_obs) = toy_data();
         data.push(SentenceFeatures { obs: vec![], gold: Some(vec![]) });
         let mut crf = ChainCrf::new(Order::One, num_obs);
-        let report =
-            crf.train(&data, &TrainConfig { max_iterations: 20, ..Default::default() });
+        let report = crf.train(&data, &TrainConfig { max_iterations: 20, ..Default::default() });
         assert!(report.objective.is_finite());
     }
 }

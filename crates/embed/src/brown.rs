@@ -226,33 +226,34 @@ pub fn brown_cluster(sentences: &[Vec<u32>], cfg: &BrownConfig) -> BrownClusteri
     };
     let mut word_cluster: FxHashMap<u32, usize> = FxHashMap::default();
 
-    let insert_word = |state: &mut State, word_cluster: &mut FxHashMap<u32, usize>, w: u32, c: u64| {
-        let idx = state.num();
-        state.members.push(vec![w]);
-        state.count.push(c as f64);
-        for row in state.bigram.iter_mut() {
-            row.push(0.0);
-        }
-        state.bigram.push(vec![0.0; idx + 1]);
-        word_cluster.insert(w, idx);
-        // accumulate bigram counts of w against clustered words (incl. itself)
-        if let Some(rs) = right.get(&w) {
-            for &(b, cnt) in rs {
-                if let Some(&cb) = word_cluster.get(&b) {
-                    state.bigram[idx][cb] += cnt as f64;
-                }
+    let insert_word =
+        |state: &mut State, word_cluster: &mut FxHashMap<u32, usize>, w: u32, c: u64| {
+            let idx = state.num();
+            state.members.push(vec![w]);
+            state.count.push(c as f64);
+            for row in state.bigram.iter_mut() {
+                row.push(0.0);
             }
-        }
-        if let Some(ls) = left.get(&w) {
-            for &(a, cnt) in ls {
-                if let Some(&ca) = word_cluster.get(&a) {
-                    if ca != idx || a != w {
-                        state.bigram[ca][idx] += cnt as f64;
+            state.bigram.push(vec![0.0; idx + 1]);
+            word_cluster.insert(w, idx);
+            // accumulate bigram counts of w against clustered words (incl. itself)
+            if let Some(rs) = right.get(&w) {
+                for &(b, cnt) in rs {
+                    if let Some(&cb) = word_cluster.get(&b) {
+                        state.bigram[idx][cb] += cnt as f64;
                     }
                 }
             }
-        }
-    };
+            if let Some(ls) = left.get(&w) {
+                for &(a, cnt) in ls {
+                    if let Some(&ca) = word_cluster.get(&a) {
+                        if ca != idx || a != w {
+                            state.bigram[ca][idx] += cnt as f64;
+                        }
+                    }
+                }
+            }
+        };
 
     for &(w, c) in &words {
         insert_word(&mut state, &mut word_cluster, w, c);
@@ -265,7 +266,7 @@ pub fn brown_cluster(sentences: &[Vec<u32>], cfg: &BrownConfig) -> BrownClusteri
     // Final agglomeration: merge down to one cluster, recording the tree.
     #[derive(Clone)]
     enum Node {
-        Leaf(usize),            // index into `leaves`
+        Leaf(usize), // index into `leaves`
         Internal(Box<Node>, Box<Node>),
     }
     let leaves: Vec<Vec<u32>> = state.members.clone();
@@ -305,12 +306,7 @@ pub fn brown_cluster(sentences: &[Vec<u32>], cfg: &BrownConfig) -> BrownClusteri
 
 /// Merge wrapper that keeps the word→cluster map consistent with
 /// swap-remove index moves.
-fn merge_tracking(
-    state: &mut State,
-    word_cluster: &mut FxHashMap<u32, usize>,
-    a: usize,
-    b: usize,
-) {
+fn merge_tracking(state: &mut State, word_cluster: &mut FxHashMap<u32, usize>, a: usize, b: usize) {
     let last = state.num() - 1;
     for &w in &state.members[b] {
         word_cluster.insert(w, a);

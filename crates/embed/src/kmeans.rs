@@ -126,10 +126,7 @@ pub fn kmeans(emb: &Embeddings, cfg: &KMeansConfig) -> WordClusters {
         }
     }
 
-    WordClusters {
-        assignment: words.into_iter().zip(assign).collect(),
-        k,
-    }
+    WordClusters { assignment: words.into_iter().zip(assign).collect(), k }
 }
 
 #[cfg(test)]

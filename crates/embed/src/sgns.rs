@@ -10,6 +10,7 @@
 //! word subsampling. The run is fully seeded and single-threaded, so
 //! embeddings are bit-reproducible.
 
+use graphner_obs::obs_debug;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rustc_hash::FxHashMap;
@@ -107,8 +108,7 @@ pub fn train_sgns(sentences: &[Vec<u32>], cfg: &SgnsConfig) -> Embeddings {
     }
     let mut vocab: Vec<u32> = counts.keys().copied().collect();
     vocab.sort_unstable();
-    let index: FxHashMap<u32, usize> =
-        vocab.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+    let index: FxHashMap<u32, usize> = vocab.iter().enumerate().map(|(i, &w)| (w, i)).collect();
     let n = vocab.len();
     let total_tokens: u64 = counts.values().sum();
 
@@ -124,14 +124,18 @@ pub fn train_sgns(sentences: &[Vec<u32>], cfg: &SgnsConfig) -> Embeddings {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     // input vectors random in [-0.5/dim, 0.5/dim], output vectors zero
     // (word2vec initialization)
-    let mut input: Vec<f32> = (0..n * cfg.dim)
-        .map(|_| (rng.gen::<f32>() - 0.5) / cfg.dim as f32)
-        .collect();
+    let mut input: Vec<f32> =
+        (0..n * cfg.dim).map(|_| (rng.gen::<f32>() - 0.5) / cfg.dim as f32).collect();
     let mut output: Vec<f32> = vec![0.0; n * cfg.dim];
 
     let total_steps = (cfg.epochs * sentences.len()).max(1);
     let mut grad = vec![0.0f32; cfg.dim];
     for epoch in 0..cfg.epochs {
+        // epoch loss is accumulated from quantities already computed in
+        // the SGD updates, so instrumentation never touches the rng
+        // stream and embeddings stay bit-identical
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_pairs = 0u64;
         for (si, sent) in sentences.iter().enumerate() {
             let progress = (epoch * sentences.len() + si) as f64 / total_steps as f64;
             let lr = (cfg.learning_rate * (1.0 - progress)).max(cfg.learning_rate * 1e-4);
@@ -176,7 +180,11 @@ pub fn train_sgns(sentences: &[Vec<u32>], cfg: &SgnsConfig) -> Embeddings {
                         let u = &mut output[target * cfg.dim..(target + 1) * cfg.dim];
                         let dot: f64 =
                             v.iter().zip(u.iter()).map(|(a, b)| *a as f64 * *b as f64).sum();
-                        let g = ((label - sigmoid(dot)) * lr) as f32;
+                        let p = sigmoid(dot);
+                        // −log σ(u·v) for positives, −log σ(−u·v) for noise
+                        epoch_loss -= if label == 1.0 { p } else { 1.0 - p }.max(1e-12).ln();
+                        epoch_pairs += 1;
+                        let g = ((label - p) * lr) as f32;
                         for d in 0..cfg.dim {
                             grad[d] += g * u[d];
                             u[d] += g * v[d];
@@ -188,6 +196,13 @@ pub fn train_sgns(sentences: &[Vec<u32>], cfg: &SgnsConfig) -> Embeddings {
                 }
             }
         }
+        let mean_loss = epoch_loss / epoch_pairs.max(1) as f64;
+        obs_debug!(
+            "sgns: epoch {}/{} mean pair loss {mean_loss:.4} ({epoch_pairs} pairs)",
+            epoch + 1,
+            cfg.epochs
+        );
+        graphner_obs::gauge("sgns.epoch_loss").set(mean_loss);
     }
 
     let vectors = vocab

@@ -158,15 +158,9 @@ pub fn evaluate(system: &AnnotationSet, gold: &AnnotationSet) -> Evaluation {
     ids.sort_unstable();
     ids.dedup();
     for id in ids {
-        let dets: Vec<(usize, usize)> = system
-            .primary
-            .get(id)
-            .unwrap_or(&empty)
-            .iter()
-            .map(Bc2Annotation::span)
-            .collect();
-        let prim: Vec<&Bc2Annotation> =
-            gold.primary.get(id).unwrap_or(&empty).iter().collect();
+        let dets: Vec<(usize, usize)> =
+            system.primary.get(id).unwrap_or(&empty).iter().map(Bc2Annotation::span).collect();
+        let prim: Vec<&Bc2Annotation> = gold.primary.get(id).unwrap_or(&empty).iter().collect();
         let alts: Vec<&Bc2Annotation> =
             gold.alternatives.get(id).unwrap_or(&empty).iter().collect();
         let counts = score_sentence(&dets, &prim, &alts);

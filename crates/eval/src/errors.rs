@@ -80,8 +80,7 @@ pub struct CategoryCounts {
 impl CategoryCounts {
     /// Tally a list of error calls.
     pub fn tally(calls: &[ErrorCall]) -> CategoryCounts {
-        let gene_related =
-            calls.iter().filter(|c| c.category == Category::GeneRelated).count();
+        let gene_related = calls.iter().filter(|c| c.category == Category::GeneRelated).count();
         CategoryCounts { gene_related, spurious: calls.len() - gene_related }
     }
 

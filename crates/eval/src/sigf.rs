@@ -148,10 +148,22 @@ mod tests {
     #[test]
     fn overwhelming_difference_is_significant() {
         // system A perfect, system B completely wrong, 200 sentences
-        let a = eval_from((0..200).map(|i| (format!("s{i}"), c(2, 2, 2))).collect::<Vec<_>>()
-            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
-        let b = eval_from((0..200).map(|i| (format!("s{i}"), c(0, 2, 2))).collect::<Vec<_>>()
-            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
+        let a = eval_from(
+            (0..200)
+                .map(|i| (format!("s{i}"), c(2, 2, 2)))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(s, x)| (s.as_str(), *x))
+                .collect(),
+        );
+        let b = eval_from(
+            (0..200)
+                .map(|i| (format!("s{i}"), c(0, 2, 2)))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(s, x)| (s.as_str(), *x))
+                .collect(),
+        );
         let r = sigf(&a, &b, Metric::FScore, 1000, 2);
         assert!(r.observed_diff > 0.9);
         assert!(r.p_value < 0.01, "p = {}", r.p_value);
@@ -175,10 +187,22 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = eval_from((0..30).map(|i| (format!("s{i}"), c(i % 2, 2, 2))).collect::<Vec<_>>()
-            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
-        let b = eval_from((0..30).map(|i| (format!("s{i}"), c((i + 1) % 2, 2, 2))).collect::<Vec<_>>()
-            .iter().map(|(s, x)| (s.as_str(), *x)).collect());
+        let a = eval_from(
+            (0..30)
+                .map(|i| (format!("s{i}"), c(i % 2, 2, 2)))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(s, x)| (s.as_str(), *x))
+                .collect(),
+        );
+        let b = eval_from(
+            (0..30)
+                .map(|i| (format!("s{i}"), c((i + 1) % 2, 2, 2)))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(s, x)| (s.as_str(), *x))
+                .collect(),
+        );
         let r1 = sigf(&a, &b, Metric::Precision, 300, 9);
         let r2 = sigf(&a, &b, Metric::Precision, 300, 9);
         assert_eq!(r1.p_value, r2.p_value);

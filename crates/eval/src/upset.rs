@@ -65,10 +65,8 @@ mod tests {
 
     #[test]
     fn two_set_regions() {
-        let sets = vec![
-            ("A".to_string(), s(&["x", "y", "z"])),
-            ("B".to_string(), s(&["y", "z", "w"])),
-        ];
+        let sets =
+            vec![("A".to_string(), s(&["x", "y", "z"])), ("B".to_string(), s(&["y", "z", "w"]))];
         let regions = upset(&sets);
         let find = |names: &[&str]| {
             regions
@@ -96,10 +94,7 @@ mod tests {
 
     #[test]
     fn sorted_by_size() {
-        let sets = vec![
-            ("A".to_string(), s(&["a", "b", "c"])),
-            ("B".to_string(), s(&["c"])),
-        ];
+        let sets = vec![("A".to_string(), s(&["a", "b", "c"])), ("B".to_string(), s(&["c"]))];
         let regions = upset(&sets);
         for w in regions.windows(2) {
             assert!(w[0].size >= w[1].size);

@@ -185,12 +185,7 @@ mod tests {
     /// 0 -> 1, 1 -> 2, 2 -> 0, 3 -> 0 (a cycle plus a tail).
     fn cyclic() -> KnnGraph {
         KnnGraph::from_adjacency(
-            vec![
-                vec![(1, 0.5)],
-                vec![(2, 0.4)],
-                vec![(0, 0.3)],
-                vec![(0, 0.9)],
-            ],
+            vec![vec![(1, 0.5)], vec![(2, 0.4)], vec![(0, 0.3)], vec![(0, 0.9)]],
             1,
         )
     }

@@ -20,14 +20,15 @@
 
 use crate::graph::KnnGraph;
 use crate::sparse::SparseVec;
+use graphner_obs::obs_summary;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Select the `k` best `(id, score)` candidates, descending by score,
 /// ties broken by ascending id.
 fn top_k(mut candidates: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
-    let by_quality = |a: &(u32, f32), b: &(u32, f32)| {
-        b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
-    };
+    let by_quality =
+        |a: &(u32, f32), b: &(u32, f32)| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0));
     if candidates.len() > k {
         candidates.select_nth_unstable_by(k - 1, by_quality);
         candidates.truncate(k);
@@ -36,10 +37,31 @@ fn top_k(mut candidates: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
     candidates
 }
 
+/// Record build metrics for one adjacency and log the build summary.
+///
+/// `candidate_pairs` counts the positive-similarity pairs each builder
+/// scored; everything a `top_k` call then discarded is a pruned edge.
+fn record_build_metrics(method: &str, adj: &[Vec<(u32, f32)>], candidate_pairs: u64) {
+    let edges: u64 = adj.iter().map(|row| row.len() as u64).sum();
+    graphner_obs::counter("knn.candidate_pairs").add(candidate_pairs);
+    graphner_obs::counter("knn.pruned_edges").add(candidate_pairs - edges);
+    let degree = graphner_obs::histogram("knn.out_degree");
+    for row in adj {
+        degree.record(row.len() as f64);
+    }
+    obs_summary!(
+        "knn[{method}]: {} vertices, {edges} edges kept of {candidate_pairs} candidate pairs \
+         ({} pruned)",
+        adj.len(),
+        candidate_pairs - edges
+    );
+}
+
 /// Exact k-NN by pairwise cosine over all vertex pairs.
 pub fn knn_brute_force(vectors: &[SparseVec], k: usize) -> KnnGraph {
     assert!(k > 0);
     let n = vectors.len();
+    let candidate_pairs = AtomicU64::new(0);
     let adj: Vec<Vec<(u32, f32)>> = (0..n)
         .into_par_iter()
         .map(|i| {
@@ -53,9 +75,11 @@ pub fn knn_brute_force(vectors: &[SparseVec], k: usize) -> KnnGraph {
                     cands.push((j as u32, sim as f32));
                 }
             }
+            candidate_pairs.fetch_add(cands.len() as u64, Ordering::Relaxed);
             top_k(cands, k)
         })
         .collect();
+    record_build_metrics("brute_force", &adj, candidate_pairs.into_inner());
     KnnGraph::from_adjacency(adj, k)
 }
 
@@ -77,6 +101,7 @@ pub fn knn_inverted_index(vectors: &[SparseVec], k: usize) -> KnnGraph {
         }
     }
 
+    let candidate_pairs = AtomicU64::new(0);
     let adj: Vec<Vec<(u32, f32)>> = (0..n)
         .into_par_iter()
         .map_init(
@@ -99,10 +124,12 @@ pub fn knn_inverted_index(vectors: &[SparseVec], k: usize) -> KnnGraph {
                     }
                 }
                 touched.clear();
+                candidate_pairs.fetch_add(cands.len() as u64, Ordering::Relaxed);
                 top_k(cands, k)
             },
         )
         .collect();
+    record_build_metrics("inverted_index", &adj, candidate_pairs.into_inner());
     KnnGraph::from_adjacency(adj, k)
 }
 

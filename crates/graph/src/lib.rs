@@ -24,5 +24,7 @@ pub mod sparse;
 pub use graph::{histogram, Histogram, KnnGraph};
 pub use knn::{knn_brute_force, knn_inverted_index};
 pub use pmi::VertexFeatureCounts;
-pub use propagate::{propagate, LabelDist, PropagationParams, UNIFORM};
+pub use propagate::{
+    propagate, LabelDist, PropagationParams, PropagationReport, CONVERGENCE_TOL, UNIFORM,
+};
 pub use sparse::SparseVec;

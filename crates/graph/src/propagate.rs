@@ -16,6 +16,7 @@
 //! the result independent of vertex order.
 
 use crate::graph::KnnGraph;
+use graphner_obs::{obs_debug, obs_summary};
 use graphner_text::NUM_TAGS;
 use rayon::prelude::*;
 
@@ -97,43 +98,73 @@ fn sweep(
     });
 }
 
+/// Residual below which a sweep is considered converged: the largest
+/// per-entry change is noise relative to the label probabilities the
+/// decoder consumes.
+pub const CONVERGENCE_TOL: f64 = 1e-6;
+
+/// Convergence diagnostics of one [`propagate`] call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PropagationReport {
+    /// Sweeps actually executed (always `params.iterations`; the count
+    /// is fixed by the paper's protocol, never cut short).
+    pub iterations: usize,
+    /// Maximum per-entry change of the final sweep.
+    pub final_residual: f64,
+    /// Whether `final_residual` is at or below [`CONVERGENCE_TOL`].
+    /// With the paper's 3 sweeps this is typically `false` — the
+    /// protocol runs a fixed budget, not to convergence.
+    pub converged: bool,
+}
+
 /// Propagate label distributions over the graph (Algorithm 1, line 7).
 ///
 /// `x` holds the initial distributions (averaged CRF posteriors for
-/// vertices seen at test time); it is updated in place. Returns the
-/// maximum per-entry change of the final sweep, a convergence
-/// diagnostic.
+/// vertices seen at test time); it is updated in place. Returns a
+/// [`PropagationReport`] with the per-call convergence diagnostics.
 pub fn propagate(
     graph: &KnnGraph,
     x: &mut Vec<LabelDist>,
     x_ref: &[Option<LabelDist>],
     params: &PropagationParams,
-) -> f64 {
+) -> PropagationReport {
     let n = graph.num_vertices();
     assert_eq!(x.len(), n, "distribution count must match vertex count");
     assert_eq!(x_ref.len(), n, "reference count must match vertex count");
     if n == 0 || params.iterations == 0 {
-        return 0.0;
+        // an empty graph is trivially at its fixed point; a zero-sweep
+        // budget on a non-empty graph proves nothing
+        return PropagationReport { iterations: 0, final_residual: 0.0, converged: n == 0 };
     }
     let weight_sums: Vec<f64> = (0..n as u32).map(|v| graph.weight_sum(v)).collect();
     let x0: Vec<LabelDist> = x.clone();
     let mut buf = vec![[0.0; NUM_TAGS]; n];
     let mut residual = 0.0;
-    for _ in 0..params.iterations {
+    for iter in 0..params.iterations {
         sweep(graph, x, &x0, x_ref, &weight_sums, params, &mut buf);
         residual = x
             .par_iter()
             .zip(buf.par_iter())
-            .map(|(a, b)| {
-                a.iter()
-                    .zip(b)
-                    .map(|(p, q)| (p - q).abs())
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|(a, b)| a.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max))
             .reduce(|| 0.0, f64::max);
         std::mem::swap(x, &mut buf);
+        obs_debug!("propagate: sweep {}/{} residual {residual:.3e}", iter + 1, params.iterations);
     }
-    residual
+    let report = PropagationReport {
+        iterations: params.iterations,
+        final_residual: residual,
+        converged: residual <= CONVERGENCE_TOL,
+    };
+    graphner_obs::counter("propagate.sweeps").add(report.iterations as u64);
+    graphner_obs::histogram("propagate.final_residual").record(report.final_residual);
+    obs_summary!(
+        "propagate: {} vertices, {} sweeps, final residual {:.3e}, converged={}",
+        n,
+        report.iterations,
+        report.final_residual,
+        report.converged
+    );
+    report
 }
 
 #[cfg(test)]
@@ -147,10 +178,7 @@ mod tests {
 
     /// A 4-cycle where each vertex points to the next.
     fn ring(w: f32) -> KnnGraph {
-        KnnGraph::from_adjacency(
-            (0..4).map(|i| vec![(((i + 1) % 4) as u32, w)]).collect(),
-            1,
-        )
+        KnnGraph::from_adjacency((0..4).map(|i| vec![(((i + 1) % 4) as u32, w)]).collect(), 1)
     }
 
     #[test]
@@ -163,7 +191,12 @@ mod tests {
             [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
         ];
         let x_ref = vec![Some([0.9, 0.05, 0.05]), None, None, None];
-        propagate(&g, &mut x, &x_ref, &PropagationParams { mu: 0.5, nu: 0.1, iterations: 5, self_anchor: 0.0 });
+        propagate(
+            &g,
+            &mut x,
+            &x_ref,
+            &PropagationParams { mu: 0.5, nu: 0.1, iterations: 5, self_anchor: 0.0 },
+        );
         for d in &x {
             assert!(is_distribution(d), "{d:?}");
         }
@@ -176,7 +209,12 @@ mod tests {
         let r = [0.8, 0.1, 0.1];
         let nu = 0.3;
         let mut x = vec![[1.0 / 3.0; 3]];
-        propagate(&g, &mut x, &[Some(r)], &PropagationParams { mu: 1.0, nu, iterations: 1, self_anchor: 0.0 });
+        propagate(
+            &g,
+            &mut x,
+            &[Some(r)],
+            &PropagationParams { mu: 1.0, nu, iterations: 1, self_anchor: 0.0 },
+        );
         for y in 0..3 {
             let expect = (r[y] + nu / 3.0) / (1.0 + nu);
             assert!((x[0][y] - expect).abs() < 1e-12);
@@ -187,7 +225,12 @@ mod tests {
     fn isolated_unlabelled_vertex_goes_uniform() {
         let g = KnnGraph::from_adjacency(vec![vec![]], 1);
         let mut x = vec![[0.9, 0.05, 0.05]];
-        propagate(&g, &mut x, &[None], &PropagationParams { mu: 1.0, nu: 0.2, iterations: 1, self_anchor: 0.0 });
+        propagate(
+            &g,
+            &mut x,
+            &[None],
+            &PropagationParams { mu: 1.0, nu: 0.2, iterations: 1, self_anchor: 0.0 },
+        );
         for p in x[0] {
             assert!((p - 1.0 / 3.0).abs() < 1e-12);
         }
@@ -217,8 +260,10 @@ mod tests {
         let x_ref = vec![Some([0.7, 0.2, 0.1]), None, Some([0.1, 0.8, 0.1]), None];
         let params = PropagationParams { mu: 0.8, nu: 0.05, iterations: 500, self_anchor: 0.0 };
         let mut x = vec![[1.0 / 3.0; 3]; 4];
-        let residual = propagate(&g, &mut x, &x_ref, &params);
-        assert!(residual < 1e-12, "not converged: residual {residual}");
+        let report = propagate(&g, &mut x, &x_ref, &params);
+        assert!(report.final_residual < 1e-12, "not converged: residual {}", report.final_residual);
+        assert!(report.converged);
+        assert_eq!(report.iterations, 500);
         // verify eq. 2 holds at the fixed point
         for i in 0..4usize {
             let w_sum = g.weight_sum(i as u32);
@@ -242,12 +287,12 @@ mod tests {
         let g = ring(0.5);
         let orig = vec![[0.2, 0.3, 0.5]; 4];
         let mut x = orig.clone();
-        propagate(&g, &mut x, &[None, None, None, None], &PropagationParams {
-            mu: 1.0,
-            nu: 1.0,
-            iterations: 0,
-            self_anchor: 0.0,
-        });
+        propagate(
+            &g,
+            &mut x,
+            &[None, None, None, None],
+            &PropagationParams { mu: 1.0, nu: 1.0, iterations: 0, self_anchor: 0.0 },
+        );
         assert_eq!(x, orig);
     }
 
@@ -268,19 +313,51 @@ mod tests {
     }
 
     #[test]
+    fn report_reflects_budget_and_convergence_state() {
+        let g = ring(0.9);
+        let x_ref = vec![Some([0.9, 0.05, 0.05]), None, None, None];
+        // the paper's fixed 3-sweep budget does not reach the tolerance
+        // on this ring with strong coupling…
+        let mut x = vec![[1.0 / 3.0; 3]; 4];
+        let short = propagate(
+            &g,
+            &mut x,
+            &x_ref,
+            &PropagationParams { mu: 0.5, nu: 0.1, iterations: 3, self_anchor: 0.0 },
+        );
+        assert_eq!(short.iterations, 3);
+        assert!(!short.converged, "unexpectedly converged: {short:?}");
+        // …while a generous budget does
+        let mut x = vec![[1.0 / 3.0; 3]; 4];
+        let long = propagate(
+            &g,
+            &mut x,
+            &x_ref,
+            &PropagationParams { mu: 0.5, nu: 0.1, iterations: 200, self_anchor: 0.0 },
+        );
+        assert!(long.converged, "did not converge: {long:?}");
+        assert!(long.final_residual <= CONVERGENCE_TOL);
+        // empty graph: trivially converged, zero sweeps of work
+        let empty = KnnGraph::from_adjacency(vec![], 1);
+        let report = propagate(&empty, &mut vec![], &[], &PropagationParams::default());
+        assert!(report.converged);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
     fn residual_decreases_across_iterations() {
         let g = ring(0.9);
         let x_ref = vec![Some([0.9, 0.05, 0.05]), None, None, None];
         let mut residuals = Vec::new();
         let mut x = vec![[1.0 / 3.0; 3]; 4];
         for _ in 0..6 {
-            let r = propagate(
+            let report = propagate(
                 &g,
                 &mut x,
                 &x_ref,
                 &PropagationParams { mu: 0.5, nu: 0.1, iterations: 1, self_anchor: 0.0 },
             );
-            residuals.push(r);
+            residuals.push(report.final_residual);
         }
         for w in residuals.windows(2) {
             assert!(w[1] <= w[0] + 1e-12, "residuals not monotone: {residuals:?}");

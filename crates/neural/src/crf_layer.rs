@@ -33,12 +33,7 @@ pub struct CrfLayer {
 
 impl Default for CrfLayer {
     fn default() -> CrfLayer {
-        CrfLayer {
-            trans: [[0.0; Y]; Y],
-            start: [0.0; Y],
-            gtrans: [[0.0; Y]; Y],
-            gstart: [0.0; Y],
-        }
+        CrfLayer { trans: [[0.0; Y]; Y], start: [0.0; Y], gtrans: [[0.0; Y]; Y], gstart: [0.0; Y] }
     }
 }
 
@@ -108,8 +103,8 @@ impl CrfLayer {
         for t in 1..l {
             for p in 0..Y {
                 for y in 0..Y {
-                    let lp = alpha[t - 1][p] + self.trans[p][y] + emissions[t][y] + beta[t][y]
-                        - log_z;
+                    let lp =
+                        alpha[t - 1][p] + self.trans[p][y] + emissions[t][y] + beta[t][y] - log_z;
                     self.gtrans[p][y] += lp.exp();
                 }
             }
@@ -145,9 +140,8 @@ impl CrfLayer {
                 back[t][y] = arg;
             }
         }
-        let mut cur = (0..Y)
-            .max_by(|&a, &b| delta[l - 1][a].partial_cmp(&delta[l - 1][b]).unwrap())
-            .unwrap();
+        let mut cur =
+            (0..Y).max_by(|&a, &b| delta[l - 1][a].partial_cmp(&delta[l - 1][b]).unwrap()).unwrap();
         let mut path = vec![0usize; l];
         path[l - 1] = cur;
         for t in (1..l).rev() {

@@ -142,7 +142,8 @@ impl LstmCell {
             let mut dz = vec![0.0; 4 * d_h];
             let mut dc_prev = vec![0.0; d_h];
             for k in 0..d_h {
-                let (i, f, o, g) = (gates[k], gates[d_h + k], gates[2 * d_h + k], gates[3 * d_h + k]);
+                let (i, f, o, g) =
+                    (gates[k], gates[d_h + k], gates[2 * d_h + k], gates[3 * d_h + k]);
                 let tanh_c = c[k].tanh();
                 let dh = dhs[t][k] + dh_next[k];
                 let do_ = dh * tanh_c;
@@ -262,8 +263,7 @@ impl BiLstm {
         let t_len = douts.len();
         let d_h = self.fwd.d_h;
         let dh_fwd: Vec<Vec<f64>> = douts.iter().map(|d| d[..d_h].to_vec()).collect();
-        let dh_bwd: Vec<Vec<f64>> =
-            (0..t_len).rev().map(|t| douts[t][d_h..].to_vec()).collect();
+        let dh_bwd: Vec<Vec<f64>> = (0..t_len).rev().map(|t| douts[t][d_h..].to_vec()).collect();
         let dx_fwd = self.fwd.backward(&trace.fwd, &dh_fwd);
         let dx_bwd_rev = self.bwd.backward(&trace.bwd, &dh_bwd);
         let mut dxs = dx_fwd;
@@ -405,9 +405,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let mut bi = BiLstm::new(2, 3, &mut rng);
         let xs = seq(3, 2, 12);
-        let loss = |bi: &BiLstm, xs: &[Vec<f64>]| -> f64 {
-            bi.forward(xs).1.iter().flatten().sum()
-        };
+        let loss =
+            |bi: &BiLstm, xs: &[Vec<f64>]| -> f64 { bi.forward(xs).1.iter().flatten().sum() };
         let (tr, out) = bi.forward(&xs);
         let douts = vec![vec![1.0; 6]; out.len()];
         bi.zero_grad();

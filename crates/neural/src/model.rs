@@ -160,15 +160,12 @@ impl LstmCrfTagger {
                 [word_ids[t] as usize * cfg.word_dim..(word_ids[t] as usize + 1) * cfg.word_dim]
                 .to_vec();
             if let Some(cb) = &self.char_bi {
-                let ids: Vec<u32> = tok
-                    .chars()
-                    .map(|c| self.chars.get(&c.to_string()).unwrap_or(UNK))
-                    .collect();
+                let ids: Vec<u32> =
+                    tok.chars().map(|c| self.chars.get(&c.to_string()).unwrap_or(UNK)).collect();
                 let xs: Vec<Vec<f64>> = ids
                     .iter()
                     .map(|&c| {
-                        self.char_emb
-                            [c as usize * cfg.char_dim..(c as usize + 1) * cfg.char_dim]
+                        self.char_emb[c as usize * cfg.char_dim..(c as usize + 1) * cfg.char_dim]
                             .to_vec()
                     })
                     .collect();
@@ -264,6 +261,12 @@ impl TrainedLstmCrf {
             // dev evaluation
             let f = mention_f(&tagger, &crf, dev);
             history.dev_f.push(f);
+            graphner_obs::obs_debug!(
+                "lstm-crf: epoch {}/{} dev mention-F {f:.4} (lr {lr:.4e})",
+                epoch + 1,
+                cfg.epochs
+            );
+            graphner_obs::gauge("lstm_crf.dev_f").set(f);
             match &best {
                 Some((bf, ..)) if f <= *bf => {
                     bad_epochs += 1;
@@ -279,9 +282,14 @@ impl TrainedLstmCrf {
             lr *= cfg.lr_decay;
         }
 
-        let (_, best_tagger, best_crf, best_epoch) =
-            best.unwrap_or((0.0, tagger, crf, 0));
+        let (_, best_tagger, best_crf, best_epoch) = best.unwrap_or((0.0, tagger, crf, 0));
         history.best_epoch = best_epoch;
+        graphner_obs::obs_summary!(
+            "lstm-crf: trained {} epochs, best dev mention-F {:.4} at epoch {}",
+            history.dev_f.len(),
+            history.dev_f.iter().cloned().fold(0.0f64, f64::max),
+            best_epoch + 1
+        );
         TrainedLstmCrf { tagger: best_tagger, crf: best_crf, history }
     }
 
@@ -347,8 +355,7 @@ fn step(
             let mut douts = vec![vec![0.0; 2 * cfg.char_hidden]; n_chars];
             let drepr = &dx[cfg.word_dim..];
             // repr = [outs[last][..ch]; outs[0][ch..]]
-            douts[n_chars - 1][..cfg.char_hidden]
-                .copy_from_slice(&drepr[..cfg.char_hidden]);
+            douts[n_chars - 1][..cfg.char_hidden].copy_from_slice(&drepr[..cfg.char_hidden]);
             for j in 0..cfg.char_hidden {
                 douts[0][cfg.char_hidden + j] += drepr[cfg.char_hidden + j];
             }
@@ -439,11 +446,7 @@ mod tests {
         for (i, g) in genes.iter().cycle().take(24).enumerate() {
             let text = format!("the {g} gene was expressed");
             train.push(mk(format!("s{i}"), &text, vec![O, B, O, O, O]));
-            train.push(mk(
-                format!("n{i}"),
-                "the patient was treated well",
-                vec![O, O, O, O, O],
-            ));
+            train.push(mk(format!("n{i}"), "the patient was treated well", vec![O, O, O, O, O]));
         }
         let dev = Corpus::from_sentences(vec![
             mk("d0".into(), "the NRAS gene was expressed", vec![O, B, O, O, O]),

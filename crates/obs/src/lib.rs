@@ -1,0 +1,31 @@
+//! Observability for the GraphNER pipeline, with zero external
+//! dependencies.
+//!
+//! Three pillars, each usable on its own:
+//!
+//! * [`span`] — nestable RAII wall-clock timers. `let _s =
+//!   span("test.propagate");` records a [`SpanRecord`] into a global
+//!   registry when the guard drops. [`with_capture`] scopes a
+//!   deterministic view of the spans recorded by the current thread,
+//!   which is how `TestTimings` in `graphner-core` is built.
+//! * [`metrics`] — process-wide named [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s with p50/p95/p99 readout, exportable
+//!   as JSON or JSONL through a [`Registry`].
+//! * [`logger`] — a progress logger filtered by the `GRAPHNER_LOG`
+//!   environment variable (`off` | `summary` | `debug`; default
+//!   `summary`). Output goes to **stderr** so machine-readable stdout
+//!   (the bench tables) stays clean at every level.
+//!
+//! The layer is hand-rolled rather than built on `tracing` +
+//! `metrics`-style crates deliberately: the repo builds fully offline
+//! against in-repo stand-ins, and the pipeline needs only a narrow
+//! slice of that machinery. See DESIGN.md ("Observability") for the
+//! trade-off discussion.
+
+pub mod logger;
+pub mod metrics;
+pub mod span;
+
+pub use logger::{level, set_level, Level};
+pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry};
+pub use span::{span, with_capture, SpanGuard, SpanRecord};

@@ -1,0 +1,205 @@
+//! Nestable RAII wall-clock spans with a thread-safe global registry.
+//!
+//! A [`span`] guard measures the wall time between its creation and its
+//! drop, then appends a [`SpanRecord`] to the process-wide registry.
+//! Records carry the owning thread, the nesting depth at entry, and
+//! monotone enter/exit sequence numbers, so callers can reconstruct
+//! the nesting tree even when several threads record concurrently.
+//!
+//! [`with_capture`] wraps a closure and returns exactly the spans that
+//! completed on the *current thread* during the closure — deterministic
+//! even while other threads (e.g. parallel tests) record their own.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Hard cap on retained records; beyond it new spans are timed but not
+/// recorded, so a pathological loop cannot grow memory without bound.
+const REGISTRY_CAP: usize = 262_144;
+
+/// Global monotone sequence for enter/exit ordering across threads.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Global registry of completed spans.
+static REGISTRY: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Next thread label; thread ids are process-local and monotone.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Current nesting depth on this thread.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Stable per-thread label.
+    static THREAD_LABEL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"test.propagate"`.
+    pub name: &'static str,
+    /// Label of the thread the span ran on.
+    pub thread: u64,
+    /// Nesting depth at entry (0 = top level on its thread).
+    pub depth: usize,
+    /// Global sequence number taken at guard creation.
+    pub enter_seq: u64,
+    /// Global sequence number taken at guard drop.
+    pub exit_seq: u64,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+}
+
+impl SpanRecord {
+    /// A record that was never timed — a named duration injected
+    /// directly, used when converting legacy timing data into span
+    /// form (e.g. `TestTimings` round-trips in `graphner-core`).
+    pub fn synthetic(name: &'static str, seconds: f64) -> SpanRecord {
+        let enter = SEQ.fetch_add(1, Ordering::Relaxed);
+        let exit = SEQ.fetch_add(1, Ordering::Relaxed);
+        SpanRecord {
+            name,
+            thread: THREAD_LABEL.with(|t| *t),
+            depth: DEPTH.with(|d| d.get()),
+            enter_seq: enter,
+            exit_seq: exit,
+            seconds,
+        }
+    }
+}
+
+/// RAII guard created by [`span`]; records on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    depth: usize,
+    enter_seq: u64,
+    start: Instant,
+}
+
+/// Start a span; the returned guard records into the global registry
+/// when dropped.
+pub fn span(name: &'static str) -> SpanGuard {
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard { name, depth, enter_seq: SEQ.fetch_add(1, Ordering::Relaxed), start: Instant::now() }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let seconds = self.start.elapsed().as_secs_f64();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let record = SpanRecord {
+            name: self.name,
+            thread: THREAD_LABEL.with(|t| *t),
+            depth: self.depth,
+            enter_seq: self.enter_seq,
+            exit_seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            seconds,
+        };
+        let mut registry = REGISTRY.lock().unwrap();
+        if registry.len() < REGISTRY_CAP {
+            registry.push(record);
+        }
+    }
+}
+
+/// Run `f` and return its result together with every span that
+/// completed **on the current thread** while it ran, ordered by exit.
+///
+/// Filtering by thread and sequence window makes the capture
+/// deterministic even when other threads (parallel tests, worker
+/// pools) are recording spans concurrently.
+pub fn with_capture<R>(f: impl FnOnce() -> R) -> (R, Vec<SpanRecord>) {
+    let thread = THREAD_LABEL.with(|t| *t);
+    let first_seq = SEQ.load(Ordering::Relaxed);
+    let result = f();
+    let last_seq = SEQ.load(Ordering::Relaxed);
+    let mut captured: Vec<SpanRecord> = REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|r| r.thread == thread && r.enter_seq >= first_seq && r.exit_seq <= last_seq)
+        .cloned()
+        .collect();
+    captured.sort_by_key(|r| r.exit_seq);
+    (result, captured)
+}
+
+/// Remove and return every record in the registry (all threads).
+/// Chiefly for tools that export spans at end of run.
+pub fn drain() -> Vec<SpanRecord> {
+    std::mem::take(&mut *REGISTRY.lock().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_depth_and_sequencing() {
+        let ((), spans) = with_capture(|| {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::hint::black_box(1 + 1);
+            }
+        });
+        assert_eq!(spans.len(), 2);
+        // children drop first, so exit order is inner then outer
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        let (inner, outer) = (&spans[0], &spans[1]);
+        assert_eq!(outer.depth, inner.depth.wrapping_sub(1));
+        assert!(inner.enter_seq > outer.enter_seq);
+        assert!(inner.exit_seq < outer.exit_seq);
+        assert!(inner.seconds <= outer.seconds);
+        assert!(outer.seconds >= 0.0);
+    }
+
+    #[test]
+    fn capture_excludes_spans_outside_the_window() {
+        {
+            let _before = span("outside.before");
+        }
+        let ((), spans) = with_capture(|| {
+            let _in = span("inside");
+        });
+        assert_eq!(spans.iter().filter(|s| s.name == "inside").count(), 1);
+        assert!(spans.iter().all(|s| s.name != "outside.before"));
+    }
+
+    #[test]
+    fn capture_is_per_thread_under_std_threads() {
+        std::thread::scope(|scope| {
+            // hammer the registry from two other threads the whole time
+            let noise = |tag: &'static str| {
+                move || {
+                    for _ in 0..500 {
+                        let _n = span(tag);
+                    }
+                }
+            };
+            scope.spawn(noise("noise.a"));
+            scope.spawn(noise("noise.b"));
+            let ((), spans) = with_capture(|| {
+                let _mine = span("mine.outer");
+                let _child = span("mine.child");
+            });
+            let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+            assert_eq!(names, vec!["mine.child", "mine.outer"]);
+        });
+    }
+
+    #[test]
+    fn synthetic_records_carry_given_seconds() {
+        let record = SpanRecord::synthetic("legacy.phase", 1.25);
+        assert_eq!(record.name, "legacy.phase");
+        assert!((record.seconds - 1.25).abs() < 1e-15);
+        assert!(record.exit_seq > record.enter_seq);
+    }
+}

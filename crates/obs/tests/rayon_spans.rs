@@ -1,0 +1,36 @@
+//! Span capture must stay deterministic while a rayon pool records
+//! spans concurrently. (Under the repo's in-tree sequential rayon
+//! stand-in this degenerates to single-threaded execution; with the
+//! real crate it exercises genuine parallelism. The std::thread
+//! variant in `span.rs` unit tests always runs truly parallel.)
+
+use graphner_obs::span::{span, with_capture};
+use rayon::prelude::*;
+
+#[test]
+fn capture_isolates_current_thread_from_rayon_workers() {
+    let data: Vec<usize> = (0..256).collect();
+    let ((), spans) = with_capture(|| {
+        let _stage = span("stage.outer");
+        let total: usize = data
+            .par_iter()
+            .map(|&i| {
+                let _worker = span("worker.item");
+                i
+            })
+            .sum();
+        assert_eq!(total, 256 * 255 / 2);
+    });
+    // the outer stage span is always captured…
+    assert_eq!(spans.iter().filter(|s| s.name == "stage.outer").count(), 1);
+    // …and every captured span belongs to the capturing thread with
+    // consistent nesting: items recorded on this thread must sit
+    // strictly inside the stage span's sequence window.
+    let stage = spans.iter().find(|s| s.name == "stage.outer").unwrap();
+    for item in spans.iter().filter(|s| s.name == "worker.item") {
+        assert_eq!(item.thread, stage.thread);
+        assert!(item.enter_seq > stage.enter_seq);
+        assert!(item.exit_seq < stage.exit_seq);
+        assert_eq!(item.depth, stage.depth + 1);
+    }
+}

@@ -37,11 +37,7 @@ impl Corpus {
 
     /// Total gold mention count (labelled sentences only).
     pub fn num_gold_mentions(&self) -> usize {
-        self.sentences
-            .iter()
-            .filter_map(|s| s.gold_mentions())
-            .map(|m| m.len())
-            .sum()
+        self.sentences.iter().filter_map(|s| s.gold_mentions()).map(|m| m.len()).sum()
     }
 
     /// Whether every sentence carries gold tags.
@@ -51,9 +47,7 @@ impl Corpus {
 
     /// A copy with all gold tags stripped.
     pub fn without_tags(&self) -> Corpus {
-        Corpus {
-            sentences: self.sentences.iter().map(|s| s.without_tags()).collect(),
-        }
+        Corpus { sentences: self.sentences.iter().map(|s| s.without_tags()).collect() }
     }
 
     /// Deterministically split into `(train, test)` by a train fraction,
@@ -87,10 +81,7 @@ impl Corpus {
                 test.push(self.sentences[idx].clone());
             }
         }
-        Split {
-            train: Corpus::from_sentences(train),
-            test: Corpus::from_sentences(test),
-        }
+        Split { train: Corpus::from_sentences(train), test: Corpus::from_sentences(test) }
     }
 }
 

@@ -54,11 +54,7 @@ impl TrigramInterner {
     /// individual words.
     pub fn trigram_at(&mut self, sentence: &Sentence, i: usize) -> Trigram {
         let left = if i == 0 { BOUNDARY_LEFT } else { &sentence.tokens[i - 1] };
-        let right = if i + 1 >= sentence.len() {
-            BOUNDARY_RIGHT
-        } else {
-            &sentence.tokens[i + 1]
-        };
+        let right = if i + 1 >= sentence.len() { BOUNDARY_RIGHT } else { &sentence.tokens[i + 1] };
         let l = self.words.intern(left);
         let c = self.words.intern(&sentence.tokens[i]);
         let r = self.words.intern(right);
@@ -86,11 +82,7 @@ impl TrigramInterner {
     /// itself is unseen.
     pub fn lookup_at(&self, sentence: &Sentence, i: usize) -> Option<u32> {
         let left = if i == 0 { BOUNDARY_LEFT } else { &sentence.tokens[i - 1] };
-        let right = if i + 1 >= sentence.len() {
-            BOUNDARY_RIGHT
-        } else {
-            &sentence.tokens[i + 1]
-        };
+        let right = if i + 1 >= sentence.len() { BOUNDARY_RIGHT } else { &sentence.tokens[i + 1] };
         let l = self.words.get(left)?;
         let c = self.words.get(&sentence.tokens[i])?;
         let r = self.words.get(right)?;

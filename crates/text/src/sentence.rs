@@ -114,9 +114,7 @@ impl Sentence {
     /// evaluation script.
     pub fn mention_to_offsets(&self, m: &Mention) -> (usize, usize) {
         let first = self.spacefree_start(m.start);
-        let last = self.spacefree_start(m.end - 1)
-            + self.tokens[m.end - 1].chars().count()
-            - 1;
+        let last = self.spacefree_start(m.end - 1) + self.tokens[m.end - 1].chars().count() - 1;
         (first, last)
     }
 
@@ -218,10 +216,7 @@ mod tests {
         // SH2B3 ) was detected in MPN — three mentions.
         let tags = vec![O, O, O, O, O, B, I, I, O, B, O, B, O, O, O, O, O];
         let mentions = tags_to_mentions(&tags);
-        assert_eq!(
-            mentions,
-            vec![Mention::new(5, 8), Mention::new(9, 10), Mention::new(11, 12)]
-        );
+        assert_eq!(mentions, vec![Mention::new(5, 8), Mention::new(9, 10), Mention::new(11, 12)]);
     }
 
     #[test]
@@ -235,10 +230,7 @@ mod tests {
     #[test]
     fn adjacent_mentions_stay_distinct() {
         let tags = vec![B, B, I, O];
-        assert_eq!(
-            tags_to_mentions(&tags),
-            vec![Mention::new(0, 1), Mention::new(1, 3)]
-        );
+        assert_eq!(tags_to_mentions(&tags), vec![Mention::new(0, 1), Mention::new(1, 3)]);
     }
 
     #[test]
@@ -274,8 +266,7 @@ mod tests {
 
     #[test]
     fn offsets_round_trip() {
-        let sent =
-            Sentence::unlabelled("s", s(&["the", "LNK", "gene", "(", "SH2B3", ")", "."]));
+        let sent = Sentence::unlabelled("s", s(&["the", "LNK", "gene", "(", "SH2B3", ")", "."]));
         for start in 0..sent.len() {
             for end in start + 1..=sent.len() {
                 let m = Mention::new(start, end);

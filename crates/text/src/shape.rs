@@ -63,9 +63,8 @@ pub struct Orthography {
     pub single_char: bool,
 }
 
-const GREEK_WORDS: [&str; 10] = [
-    "alpha", "beta", "gamma", "delta", "epsilon", "kappa", "lambda", "sigma", "theta", "omega",
-];
+const GREEK_WORDS: [&str; 10] =
+    ["alpha", "beta", "gamma", "delta", "epsilon", "kappa", "lambda", "sigma", "theta", "omega"];
 
 /// Compute all orthographic predicates for a token.
 pub fn orthography(token: &str) -> Orthography {
@@ -78,12 +77,8 @@ pub fn orthography(token: &str) -> Orthography {
     let lower = token.to_lowercase();
     Orthography {
         all_caps: n > 0 && n_upper == n,
-        init_cap: n > 1
-            && chars[0].is_uppercase()
-            && chars[1..].iter().all(|c| c.is_lowercase()),
-        mixed_case: n_upper > 0
-            && n_lower > 0
-            && chars[1..].iter().any(|c| c.is_uppercase()),
+        init_cap: n > 1 && chars[0].is_uppercase() && chars[1..].iter().all(|c| c.is_lowercase()),
+        mixed_case: n_upper > 0 && n_lower > 0 && chars[1..].iter().any(|c| c.is_uppercase()),
         all_digits: n > 0 && n_digit == n,
         has_digit: n_digit > 0,
         alphanumeric: n_alpha > 0 && n_digit > 0,

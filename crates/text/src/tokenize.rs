@@ -52,9 +52,7 @@ mod tests {
     fn splits_punctuation() {
         assert_eq!(
             tokenize("the mutation of LNK (SH2B3) was detected."),
-            vec![
-                "the", "mutation", "of", "LNK", "(", "SH2B3", ")", "was", "detected", "."
-            ]
+            vec!["the", "mutation", "of", "LNK", "(", "SH2B3", ")", "was", "detected", "."]
         );
     }
 

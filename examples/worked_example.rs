@@ -33,11 +33,7 @@ fn main() {
             "we observed the following mutations in wilms tumor - 3 .",
             vec![O, O, O, O, O, O, B, I, I, I, O],
         ),
-        mk(
-            "l2",
-            "expression of wilms tumor - 5 was low .",
-            vec![O, O, B, I, I, I, O, O, O],
-        ),
+        mk("l2", "expression of wilms tumor - 5 was low .", vec![O, O, B, I, I, I, O, O, O]),
         mk(
             "l3",
             "we did not observe this mutation in the patient ' s tumor - 9 subclone .",
@@ -81,10 +77,14 @@ fn main() {
     let post1 = model.base().posteriors(&test.sentences[1]);
     let dash0 = test.sentences[0].tokens.iter().position(|t| t == "-").unwrap();
     let dash1 = test.sentences[1].tokens.iter().rposition(|t| t == "-").unwrap();
-    println!("CRF posterior for '-' in the gene sentence      (B,I,O) = ({:.2},{:.2},{:.2})",
-        post0[dash0][0], post0[dash0][1], post0[dash0][2]);
-    println!("CRF posterior for '-' in the subclone sentence  (B,I,O) = ({:.2},{:.2},{:.2})",
-        post1[dash1][0], post1[dash1][1], post1[dash1][2]);
+    println!(
+        "CRF posterior for '-' in the gene sentence      (B,I,O) = ({:.2},{:.2},{:.2})",
+        post0[dash0][0], post0[dash0][1], post0[dash0][2]
+    );
+    println!(
+        "CRF posterior for '-' in the subclone sentence  (B,I,O) = ({:.2},{:.2},{:.2})",
+        post1[dash1][0], post1[dash1][1], post1[dash1][2]
+    );
 
     // Full GraphNER test: propagation + combination + Viterbi.
     let out = model.test(&test);

@@ -21,7 +21,9 @@
 //! * [`neural`] — the bi-LSTM-CRF baseline;
 //! * [`corpusgen`] — seeded synthetic biomedical corpora;
 //! * [`eval`] — BC2 scoring, sigf, chi-square, UpSet;
-//! * [`core`] — GraphNER itself (Algorithm 1 of the paper).
+//! * [`core`] — GraphNER itself (Algorithm 1 of the paper);
+//! * [`obs`] — zero-dependency spans, metrics, and logging
+//!   (`GRAPHNER_LOG=off|summary|debug`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and the
 //! `graphner-bench` crate for the binaries regenerating every table and
@@ -35,4 +37,5 @@ pub use graphner_embed as embed;
 pub use graphner_eval as eval;
 pub use graphner_graph as graph;
 pub use graphner_neural as neural;
+pub use graphner_obs as obs;
 pub use graphner_text as text;

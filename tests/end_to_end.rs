@@ -17,18 +17,15 @@ fn quick_cfg() -> NerConfig {
 #[test]
 fn graphner_is_competitive_with_base_crf_on_bc2gm_profile() {
     let corpus = generate(&CorpusProfile::bc2gm().scaled(0.03));
-    let (model, _) =
-        GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
     let out = model.test(&corpus.test.without_tags());
 
     let base = evaluate(
         &annotations_from_predictions(&corpus.test, &out.base_predictions),
         &corpus.test_gold,
     );
-    let graph = evaluate(
-        &annotations_from_predictions(&corpus.test, &out.predictions),
-        &corpus.test_gold,
-    );
+    let graph =
+        evaluate(&annotations_from_predictions(&corpus.test, &out.predictions), &corpus.test_gold);
     // both systems must be functional taggers
     assert!(base.f_score() > 0.7, "base F = {}", base.f_score());
     assert!(graph.f_score() > 0.7, "graph F = {}", graph.f_score());
@@ -52,15 +49,35 @@ fn aml_profile_scores_above_bc2gm_profile() {
         let (model, _) =
             GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
         let out = model.test(&corpus.test.without_tags());
-        evaluate(
-            &annotations_from_predictions(&corpus.test, &out.predictions),
-            &corpus.test_gold,
-        )
-        .f_score()
+        evaluate(&annotations_from_predictions(&corpus.test, &out.predictions), &corpus.test_gold)
+            .f_score()
     };
     let bc2 = f_of(CorpusProfile::bc2gm());
     let aml = f_of(CorpusProfile::aml());
     assert!(aml > bc2, "AML F {aml} should exceed BC2GM F {bc2}");
+}
+
+#[test]
+fn propagation_report_surfaces_through_test_output() {
+    use graphner::graph::PropagationParams;
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+
+    // the paper's sweep budget runs exactly as configured, and at 3
+    // sweeps the Jacobi iteration has not yet reached the residual
+    // tolerance — `converged` is an observation, not an early exit
+    let out = model.test(&corpus.test.without_tags());
+    assert_eq!(out.propagation_iterations, model.config().propagation.iterations);
+    assert!(!out.converged, "3 sweeps should not reach the tolerance");
+
+    // a generous budget drives the residual below CONVERGENCE_TOL
+    let generous = model.reconfigured(GraphNerConfig {
+        propagation: PropagationParams { iterations: 200, ..GraphNerConfig::default().propagation },
+        ..GraphNerConfig::default()
+    });
+    let out = generous.test(&corpus.test.without_tags());
+    assert_eq!(out.propagation_iterations, 200);
+    assert!(out.converged, "200 sweeps should converge");
 }
 
 #[test]
@@ -77,8 +94,7 @@ fn pipeline_is_deterministic_under_fixed_seed() {
 #[test]
 fn graph_statistics_match_the_papers_shape() {
     let corpus = generate(&CorpusProfile::bc2gm().scaled(0.04));
-    let (model, _) =
-        GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
     let out = model.test(&corpus.test.without_tags());
     let s = &out.stats;
     // transductive setting: most vertices are labelled (paper: 77 %)

@@ -23,11 +23,7 @@ fn build_train() -> Corpus {
             "we observed the following mutations in wilms tumor - 3 .",
             vec![O, O, O, O, O, O, B, I, I, I, O],
         ),
-        labelled(
-            "l2",
-            "expression of wilms tumor - 5 was low .",
-            vec![O, O, B, I, I, I, O, O, O],
-        ),
+        labelled("l2", "expression of wilms tumor - 5 was low .", vec![O, O, B, I, I, I, O, O, O]),
         labelled(
             "l3",
             "we did not observe this mutation in the patient ' s tumor - 9 subclone .",
@@ -65,23 +61,13 @@ fn tumor_dash_one_is_corrected_to_inside() {
 
     // the dash inside the unseen gene variant "wilms tumor - 1"
     let dash0 = test.sentences[0].tokens.iter().position(|t| t == "-").unwrap();
-    assert_eq!(
-        out.predictions[0][dash0],
-        I,
-        "gene-internal dash: {:?}",
-        out.predictions[0]
-    );
+    assert_eq!(out.predictions[0][dash0], I, "gene-internal dash: {:?}", out.predictions[0]);
     // the whole mention is recovered
     assert_eq!(&out.predictions[0][4..8], &[B, I, I, I]);
 
     // the distractor's dash stays outside
     let dash1 = test.sentences[1].tokens.iter().rposition(|t| t == "-").unwrap();
-    assert_eq!(
-        out.predictions[1][dash1],
-        O,
-        "subclone dash: {:?}",
-        out.predictions[1]
-    );
+    assert_eq!(out.predictions[1][dash1], O, "subclone dash: {:?}", out.predictions[1]);
 }
 
 #[test]

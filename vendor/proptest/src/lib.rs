@@ -1,0 +1,321 @@
+//! In-repo stand-in for `proptest`: a miniature property-testing
+//! harness covering the API surface this workspace uses — the
+//! `proptest!` macro, `Strategy` + `prop_map`, numeric-range / tuple /
+//! string-pattern strategies, `prop::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from the real crate: a fixed number of cases per
+//! property ([`CASES`]), no shrinking on failure (the failing values
+//! are printed instead), and string patterns support only the
+//! `[class]{m,n}` form actually used in this repo's tests. Case
+//! generation is deterministic per test name, so failures reproduce.
+
+/// Cases sampled per property.
+pub const CASES: u32 = 128;
+
+/// Deterministic rng used by the harness.
+pub mod test_runner {
+    /// SplitMix64 generator seeded from the test name.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from the property name.
+        pub fn new(name: &str) -> TestRng {
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            for b in name.bytes() {
+                state = (state ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`] trait and built-in strategy types.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// Generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F, T> Strategy for Map<S, F>
+    where
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// String pattern strategy: `[class]{m,n}` — a character class with
+    /// `a-z`-style ranges and literal characters (a trailing `-` is a
+    /// literal), repeated between `m` and `n` times.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min, max) = parse_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parse `[class]{m,n}` into (alphabet, m, n). Panics on anything
+    /// outside that grammar — extend here if a test needs more.
+    fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let inner = pattern
+            .strip_prefix('[')
+            .and_then(|rest| rest.split_once(']'))
+            .unwrap_or_else(|| panic!("unsupported pattern {pattern:?}: expected [class]{{m,n}}"));
+        let (class, rep) = inner;
+        let counts = rep
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .and_then(|r| r.split_once(','))
+            .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+        let min: usize = counts.0.trim().parse().expect("bad min repeat");
+        let max: usize = counts.1.trim().parse().expect("bad max repeat");
+        assert!(min <= max, "bad repetition bounds in {pattern:?}");
+
+        let chars: Vec<char> = class.chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // `a-z` range, unless `-` is the final character (literal)
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "bad char range in {pattern:?}");
+                for c in lo..=hi {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+        (alphabet, min, max)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with length drawn from `len` and elements
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` strategy: length in `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*` needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `body` for [`CASES`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::new(stringify!($name));
+                for __proptest_case in 0..$crate::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &$strat,
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    let _ = __proptest_case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property; failure reports the condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(
+            n in 2usize..20,
+            x in 0.5f64..1.5,
+            pair in (0u32..5, 0.0f32..1.0),
+        ) {
+            prop_assert!((2..20).contains(&n));
+            prop_assert!((0.5..1.5).contains(&x));
+            prop_assert!(pair.0 < 5);
+            prop_assert!((0.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn string_pattern_respects_class_and_length(s in "[ a-z0-9.'-]{0,12}") {
+            prop_assert!(s.chars().count() <= 12);
+            for c in s.chars() {
+                prop_assert!(
+                    c == ' ' || c == '.' || c == '\'' || c == '-'
+                        || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn vec_and_prop_map_compose(
+            v in prop::collection::vec(0usize..3, 1..24).prop_map(|v| {
+                v.into_iter().map(|x| x * 2).collect::<Vec<_>>()
+            }),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 24);
+            prop_assert!(v.iter().all(|&x| x % 2 == 0 && x <= 4));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let sample = |name: &str| {
+            let mut rng = TestRng::new(name);
+            (0..10).map(|_| Strategy::sample(&(0u64..1000), &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample("alpha"), sample("alpha"));
+        assert_ne!(sample("alpha"), sample("beta"));
+    }
+}

@@ -1,0 +1,142 @@
+//! In-repo stand-in for `rand_chacha`: a `ChaCha8Rng` built on the real
+//! ChaCha stream cipher (RFC 8439 core, 8 rounds), implementing the
+//! `RngCore`/`SeedableRng` traits of the workspace's `rand` stand-in.
+//!
+//! The keystream is genuine ChaCha8 keyed by the 32-byte seed with a
+//! zero nonce, but output-word order is not guaranteed to match the
+//! upstream `rand_chacha` crate bit for bit. All workspace consumers
+//! seed explicitly and only need determinism.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha quarter round on four state words.
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A deterministic rng over the ChaCha8 keystream.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 8 key words, 64-bit counter, zero nonce.
+    input: [u32; 16],
+    /// Current keystream block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "refill needed".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    /// Run the 8-round block function and advance the counter.
+    fn refill(&mut self) {
+        let mut x = self.input;
+        for _ in 0..4 {
+            // column round
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // diagonal round
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (out, inp) in x.iter_mut().zip(self.input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buffer = x;
+        self.index = 0;
+        // 64-bit block counter in words 12..14
+        let (lo, carry) = self.input[12].overflowing_add(1);
+        self.input[12] = lo;
+        if carry {
+            self.input[13] = self.input[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaCha8Rng {
+        let mut input = [0u32; 16];
+        // "expand 32-byte k"
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646e;
+        input[2] = 0x7962_2d32;
+        input[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng { input, buffer: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn rng_trait_methods_work() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let k = rng.gen_range(0..5usize);
+        assert!(k < 5);
+    }
+
+    #[test]
+    fn counter_spans_blocks() {
+        // drawing > 16 words must cross a block boundary without repeats
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let words: Vec<u32> = (0..64).map(|_| rng.next_u32()).collect();
+        let first_block = &words[..16];
+        let second_block = &words[16..32];
+        assert_ne!(first_block, second_block);
+    }
+}

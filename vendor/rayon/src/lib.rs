@@ -1,0 +1,223 @@
+//! In-repo stand-in for `rayon`: the exact parallel-iterator API surface
+//! this workspace uses, executed *sequentially* on the calling thread.
+//!
+//! Every `par_iter` / `par_chunks` / `into_par_iter` call site keeps its
+//! rayon shape (so swapping the real crate back in is a Cargo.toml-only
+//! change), but work is a plain iterator pipeline. Results are identical
+//! to real rayon for the combinators used here because the workspace
+//! only relies on order-preserving operations (`map`, `zip`, `collect`)
+//! and associative-commutative reductions (`reduce` with `f64::max`,
+//! tuple sums).
+
+use std::ops::Range;
+
+/// Number of worker threads. The stand-in executes sequentially, so 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Map each item with per-"thread" scratch state (created once here,
+    /// since there is a single thread).
+    pub fn map_init<INIT, T, F, R>(
+        self,
+        init: INIT,
+        mut f: F,
+    ) -> ParIter<impl Iterator<Item = R>>
+    where
+        INIT: Fn() -> T,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        let mut state = init();
+        ParIter { inner: self.inner.map(move |item| f(&mut state, item)) }
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { inner: self.inner.enumerate() }
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter { inner: self.inner.zip(other.inner) }
+    }
+
+    /// Filter items.
+    pub fn filter<P>(self, predicate: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter { inner: self.inner.filter(predicate) }
+    }
+
+    /// Run a side effect for each item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f);
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Fold from `identity()` with `op` (rayon's reduce signature).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// `.par_iter()` / `.par_iter_mut()` / `.par_chunks()` on slices.
+pub trait ParallelSliceExt<T> {
+    /// Iterate shared references.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Iterate chunks of at most `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+/// `.par_iter_mut()` on slices.
+pub trait ParallelSliceMutExt<T> {
+    /// Iterate exclusive references.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { inner: self.iter() }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter { inner: self.chunks(size) }
+    }
+}
+
+impl<T> ParallelSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    type Iter = Range<u32>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    type Iter = Range<u64>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelSliceExt, ParallelSliceMutExt,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let m: f64 = vec![1.0f64, 5.0, 3.0]
+            .par_iter()
+            .map(|&x| x)
+            .reduce(|| 0.0, f64::max);
+        assert!((m - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunks_and_zip_and_enumerate() {
+        let data = [1, 2, 3, 4, 5];
+        let n: usize = data.par_chunks(2).map(|c| c.len()).sum();
+        assert_eq!(n, 5);
+        let mut out = vec![0; 3];
+        out.par_iter_mut().enumerate().for_each(|(i, v)| *v = i);
+        assert_eq!(out, vec![0, 1, 2]);
+        let pairs: Vec<(usize, i32)> =
+            (0..3usize).into_par_iter().zip(vec![7, 8, 9].into_par_iter()).collect();
+        assert_eq!(pairs, vec![(0, 7), (1, 8), (2, 9)]);
+    }
+
+    #[test]
+    fn map_init_reuses_state() {
+        let results: Vec<usize> = (0..4usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                scratch.len()
+            })
+            .collect();
+        // single "thread": scratch persists across items
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,103 @@
+//! In-repo stand-in for `rustc-hash`: the classic Fx multiply-rotate
+//! hash with the `FxHashMap` / `FxHashSet` aliases the workspace uses.
+//! Functionally equivalent to the real crate (a fast, non-cryptographic,
+//! DoS-unsafe hasher); hash values are not guaranteed to match the
+//! upstream implementation bit for bit.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant of the Fx hash (Firefox's hash function).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".to_string(), 1);
+        m.insert("b".to_string(), 2);
+        assert_eq!(m["a"], 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |s: &str| {
+            let mut hasher = FxHasher::default();
+            hasher.write(s.as_bytes());
+            hasher.finish()
+        };
+        assert_eq!(h("gene"), h("gene"));
+        assert_ne!(h("gene"), h("gens"));
+    }
+}
