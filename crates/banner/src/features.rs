@@ -238,6 +238,23 @@ impl FeatureIndex {
         ids.dedup();
         ids
     }
+
+    /// All feature strings, ordered so that position `i` holds the
+    /// feature with id `i` — the persistence export.
+    pub fn strings_in_id_order(&self) -> Vec<String> {
+        let mut out = vec![String::new(); self.map.len()];
+        for (f, &id) in &self.map {
+            out[id as usize] = f.clone();
+        }
+        out
+    }
+
+    /// Rebuild an index from strings in id order, as produced by
+    /// [`strings_in_id_order`](FeatureIndex::strings_in_id_order).
+    pub fn from_strings(strings: Vec<String>) -> FeatureIndex {
+        let map = strings.into_iter().enumerate().map(|(i, f)| (f, i as u32)).collect();
+        FeatureIndex { map }
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use crate::features::{extract_features, DistributionalResources, FeatureIndex, FeatureSet};
 use graphner_crf::{ChainCrf, Order, SentenceFeatures, TrainConfig, TrainReport};
-use graphner_text::{BioTag, Corpus, Sentence, NUM_TAGS};
+use graphner_text::{BioTag, Corpus, Sentence, Tagger, NUM_TAGS};
 use rustc_hash::FxHashMap;
 
 /// Which published system the model reproduces.
@@ -101,6 +101,23 @@ impl NerModel {
         (model, report)
     }
 
+    /// Reassemble a plain-BANNER model from persisted parts: the frozen
+    /// feature index and the trained CRF. Distributional resources are
+    /// not persistable (they are cheap to retrain and large to store),
+    /// so the result is always the [`BaseSystem::Banner`] variant.
+    ///
+    /// # Panics
+    /// Panics if the CRF was sized for a different feature count than
+    /// `index` holds.
+    pub fn from_parts(index: FeatureIndex, crf: ChainCrf) -> NerModel {
+        assert_eq!(
+            crf.num_obs_features(),
+            index.len(),
+            "CRF observation-feature count does not match the feature index"
+        );
+        NerModel { system: BaseSystem::Banner, index, crf, dist: None }
+    }
+
     /// Which base system this model instantiates.
     pub fn system(&self) -> BaseSystem {
         self.system
@@ -158,6 +175,16 @@ impl NerModel {
     /// Tag-level transition probabilities `T_s` (Algorithm 1, line 5).
     pub fn transition_matrix(&self) -> [[f64; NUM_TAGS]; NUM_TAGS] {
         self.crf.tag_transition_matrix()
+    }
+}
+
+impl Tagger for NerModel {
+    fn predict(&self, sentence: &Sentence) -> Vec<BioTag> {
+        NerModel::predict(self, sentence)
+    }
+
+    fn posteriors(&self, sentence: &Sentence) -> Vec<[f64; NUM_TAGS]> {
+        NerModel::posteriors(self, sentence)
     }
 }
 

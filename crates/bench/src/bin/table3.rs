@@ -9,7 +9,7 @@
 
 use graphner_banner::DistributionalResources;
 use graphner_bench::{eval_predictions, RunOptions};
-use graphner_core::{GraphFeatureSet, GraphNer, GraphNerConfig};
+use graphner_core::{GraphFeatureSet, GraphNer, GraphNerConfig, TestSession};
 use graphner_corpusgen::{generate, CorpusProfile};
 
 fn main() {
@@ -45,9 +45,14 @@ fn main() {
             GraphNerConfig::table_iv(&corpus.profile.name, chemdner),
         );
 
+        // one session per base model: every ablation row below reuses
+        // the cached corpus posteriors, and the K = 5 row reuses the
+        // All-features PMI vectors
+        let mut session = TestSession::new(&gner, &test_unlabelled);
+
         // baseline row
         {
-            let out = gner.test(&test_unlabelled);
+            let out = session.run(gner.config());
             let (base_eval, _) =
                 eval_predictions(&corpus.test, &corpus.test_gold, &out.base_predictions);
             println!(
@@ -72,8 +77,7 @@ fn main() {
                 k,
                 ..GraphNerConfig::table_iv(&corpus.profile.name, chemdner)
             };
-            let variant = gner.reconfigured(cfg);
-            let out = variant.test(&test_unlabelled);
+            let out = session.run(&cfg);
             let (eval, _) = eval_predictions(&corpus.test, &corpus.test_gold, &out.predictions);
             println!(
                 "{:<18} {:<22} {:>4} {:>10.2}",

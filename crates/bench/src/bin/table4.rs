@@ -9,7 +9,7 @@
 
 use graphner_banner::DistributionalResources;
 use graphner_bench::{eval_predictions, RunOptions};
-use graphner_core::{GraphNer, GraphNerConfig};
+use graphner_core::{GraphNer, GraphNerConfig, TestSession};
 use graphner_corpusgen::{generate, CorpusProfile};
 use graphner_graph::PropagationParams;
 use graphner_text::AnnotationSet;
@@ -44,6 +44,9 @@ fn main() {
             let (gner, _) =
                 GraphNer::train(&split.train, &opts.ner_config(), dist, GraphNerConfig::default());
 
+            // all 24 candidate configurations share one session: the
+            // CRF posteriors and the graph are computed once per fold
+            let mut session = TestSession::new(&gner, &fold_unlabelled);
             let mut best: Option<(f64, (f64, f64, f64, usize))> = None;
             for alpha in [0.02, 0.1, 0.3] {
                 for mu in [1e-6, 1e-4] {
@@ -59,8 +62,7 @@ fn main() {
                                 },
                                 ..GraphNerConfig::default()
                             };
-                            let variant = gner.reconfigured(cfg);
-                            let out = variant.test(&fold_unlabelled);
+                            let out = session.run(&cfg);
                             let (eval, _) =
                                 eval_predictions(&split.test, &fold_gold, &out.predictions);
                             let f = eval.f_score();

@@ -203,9 +203,10 @@ pub fn run_neural_baseline(corpus: &GeneratedCorpus, opts: &RunOptions) -> Syste
         ..Default::default()
     };
     let model = TrainedLstmCrf::train(&split.train, &split.test, &cfg);
-    let predictions: Vec<Vec<BioTag>> =
-        corpus.test.sentences.iter().map(|s| model.predict(s)).collect();
-    let (eval, detections) = eval_predictions(&corpus.test, &corpus.test_gold, &predictions);
+    // TrainedLstmCrf is a Tagger, so the predict/convert/evaluate glue
+    // collapses into the shared one-call path
+    let (eval, detections) =
+        graphner_eval::evaluate_tagger(&model, &corpus.test, &corpus.test_gold);
     SystemResult { name: "LSTM-CRF".to_string(), eval, detections }
 }
 

@@ -23,6 +23,16 @@ impl GraphFeatureSet {
             GraphFeatureSet::MiThreshold(t) => format!("MI > {t}"),
         }
     }
+
+    /// Hashable identity of the variant, used to key per-feature-set
+    /// caches (`f64` is not `Hash`; the threshold is folded in as bits).
+    pub fn cache_key(&self) -> (u8, u64) {
+        match self {
+            GraphFeatureSet::All => (0, 0),
+            GraphFeatureSet::Lexical => (1, 0),
+            GraphFeatureSet::MiThreshold(t) => (2, t.to_bits()),
+        }
+    }
 }
 
 /// Full GraphNER configuration: the interpolation weight α, the
@@ -50,6 +60,14 @@ pub struct GraphNerConfig {
     /// MALLET transition potentials the original implementation
     /// extracts.
     pub trans_power: f64,
+    /// Add-k smoothing constant on the gold tag-bigram counts behind
+    /// the decode's transition factors.
+    pub trans_add_k: f64,
+    /// Upper bound on each transition factor `(P(y'|y)/P(y'))^τ`. On
+    /// corpora where a tag is almost absent the raw ratio grows
+    /// unboundedly; the cap plays the role L2 regularization plays for
+    /// a trained CRF's transition potentials.
+    pub trans_ratio_cap: f64,
 }
 
 impl Default for GraphNerConfig {
@@ -62,6 +80,8 @@ impl Default for GraphNerConfig {
             k: 10,
             feature_set: GraphFeatureSet::All,
             trans_power: 0.5,
+            trans_add_k: 0.1,
+            trans_ratio_cap: 3.0,
         }
     }
 }
@@ -80,6 +100,7 @@ impl GraphNerConfig {
             k: 10,
             feature_set: GraphFeatureSet::All,
             trans_power: 0.5,
+            ..GraphNerConfig::default()
         }
     }
 }
@@ -95,6 +116,22 @@ mod tests {
         assert_eq!(c.propagation.mu, 1e-6);
         assert_eq!(c.propagation.nu, 1e-6);
         assert_eq!(c.k, 10);
+        // decode transition constants (previously hardcoded)
+        assert_eq!(c.trans_add_k, 0.1);
+        assert_eq!(c.trans_ratio_cap, 3.0);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_variants() {
+        assert_ne!(GraphFeatureSet::All.cache_key(), GraphFeatureSet::Lexical.cache_key());
+        assert_ne!(
+            GraphFeatureSet::MiThreshold(0.005).cache_key(),
+            GraphFeatureSet::MiThreshold(0.01).cache_key()
+        );
+        assert_eq!(
+            GraphFeatureSet::MiThreshold(0.01).cache_key(),
+            GraphFeatureSet::MiThreshold(0.01).cache_key()
+        );
     }
 
     #[test]

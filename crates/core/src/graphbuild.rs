@@ -67,16 +67,17 @@ pub fn feature_tag_mi(model: &NerModel, sentences: &[&Sentence]) -> FxHashMap<St
     mi
 }
 
-/// Build the k-NN similarity graph. `interner` must already contain (or
-/// will be extended with) every 3-gram of `sentences`; the returned
-/// graph's vertex ids are the interner's.
-pub fn build_graph(
+/// Build the PMI feature vectors for every 3-gram vertex of
+/// `sentences`, interning any 3-grams not yet in `interner`. The
+/// returned vector list is indexed by vertex id and depends only on the
+/// corpus and `feature_set` — not on K — so sessions sweeping K can
+/// reuse it across [`knn_from_vectors`] calls.
+pub fn build_vertex_vectors(
     model: &NerModel,
     interner: &mut TrigramInterner,
     sentences: &[&Sentence],
     feature_set: GraphFeatureSet,
-    k: usize,
-) -> KnnGraph {
+) -> Vec<graphner_graph::SparseVec> {
     // MI selection needs a first pass over the corpus with the trained
     // model before feature filtering.
     let allowed: Option<FxHashSet<String>> = match feature_set {
@@ -123,23 +124,43 @@ pub fn build_graph(
             }
         }
     }
-    let vectors = {
-        let _s = span("graph.pmi");
-        counts.pmi_vectors(interner.len())
-    };
+    graphner_obs::counter("graph.features").add(feature_vocab.len() as u64);
+    let _s = span("graph.pmi");
+    counts.pmi_vectors(interner.len())
+}
+
+/// Connect precomputed PMI vectors into the K-nearest-neighbour graph.
+pub fn knn_from_vectors(vectors: &[graphner_graph::SparseVec], k: usize) -> KnnGraph {
     let graph = {
         let _s = span("graph.knn");
-        knn_inverted_index(&vectors, k)
+        knn_inverted_index(vectors, k)
     };
     graphner_obs::counter("graph.vertices").add(graph.num_vertices() as u64);
-    graphner_obs::counter("graph.features").add(feature_vocab.len() as u64);
     obs_summary!(
-        "graph build: {} vertices, {} features, {} edges (k = {k})",
+        "graph build: {} vertices, {} edges (k = {k})",
         graph.num_vertices(),
-        feature_vocab.len(),
         graph.num_edges()
     );
     graph
+}
+
+/// Build the k-NN similarity graph. `interner` must already contain (or
+/// will be extended with) every 3-gram of `sentences`; the returned
+/// graph's vertex ids are the interner's.
+///
+/// One-shot composition of [`build_vertex_vectors`] and
+/// [`knn_from_vectors`]; staged callers (the session cache in
+/// [`crate::pipeline`]) invoke the pieces directly so the vectors can
+/// be reused across K sweeps.
+pub fn build_graph(
+    model: &NerModel,
+    interner: &mut TrigramInterner,
+    sentences: &[&Sentence],
+    feature_set: GraphFeatureSet,
+    k: usize,
+) -> KnnGraph {
+    let vectors = build_vertex_vectors(model, interner, sentences, feature_set);
+    knn_from_vectors(&vectors, k)
 }
 
 #[cfg(test)]

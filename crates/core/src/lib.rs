@@ -29,11 +29,15 @@
 pub mod config;
 pub mod graphbuild;
 pub mod model;
+pub mod persist;
+pub mod pipeline;
 pub mod stats;
 pub mod timings;
 
 pub use config::{GraphFeatureSet, GraphNerConfig};
-pub use graphbuild::{build_graph, feature_tag_mi};
+pub use graphbuild::{build_graph, build_vertex_vectors, feature_tag_mi, knn_from_vectors};
 pub use model::{annotations_from_predictions, GraphNer, TestOutput, TrainOutput};
+pub use persist::{load_model, save_model, PersistError};
+pub use pipeline::{GraphTagger, TestSession};
 pub use stats::GraphStats;
 pub use timings::TestTimings;

@@ -16,26 +16,25 @@
 //! construction is the test set, and train/test run exactly once.
 
 use crate::config::GraphNerConfig;
-use crate::graphbuild::build_graph;
+use crate::pipeline::TestSession;
 use crate::stats::GraphStats;
-use crate::timings::{stage, TestTimings};
+use crate::timings::TestTimings;
 use graphner_banner::{DistributionalResources, NerConfig, NerModel};
-use graphner_crf::{viterbi_tags, TrainReport};
-use graphner_graph::{propagate, LabelDist, PropagationReport, UNIFORM};
-use graphner_obs::{obs_summary, span, with_capture};
-use graphner_text::{BioTag, Corpus, Sentence, TrigramInterner, NUM_TAGS};
-use rayon::prelude::*;
+use graphner_crf::TrainReport;
+use graphner_graph::LabelDist;
+use graphner_text::{BioTag, Corpus, TrigramInterner, NUM_TAGS};
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A trained GraphNER model: the base CRF tagger plus the reference
 /// distributions over labelled 3-grams.
 #[derive(Clone, Debug)]
 pub struct GraphNer {
-    base: NerModel,
-    cfg: GraphNerConfig,
-    interner: TrigramInterner,
-    x_ref: FxHashMap<u32, LabelDist>,
+    pub(crate) base: NerModel,
+    pub(crate) cfg: GraphNerConfig,
+    pub(crate) interner: TrigramInterner,
+    pub(crate) x_ref: FxHashMap<u32, LabelDist>,
     /// Tag-level transition factors `T_s` used by the final Viterbi
     /// decode: the empirical transition probabilities of the training
     /// tags *divided by the tag prior*, `T[y][y'] = P(y'|y) / P(y')`.
@@ -44,15 +43,20 @@ pub struct GraphNer {
     /// double-count it and crush the rare B/I tags; the likelihood-ratio
     /// form contributes only the sequential dependence beyond the prior
     /// (and still zeroes out ill-formed transitions such as `O → I`).
-    transitions: [[f64; NUM_TAGS]; NUM_TAGS],
+    pub(crate) transitions: [[f64; NUM_TAGS]; NUM_TAGS],
     /// The labelled corpus, retained because the transductive test
     /// procedure runs the CRF and graph construction over `D_l ∪ D_u`.
-    train_corpus: Corpus,
+    /// Behind an [`Arc`] so [`GraphNer::reconfigured`] and `clone` —
+    /// called once per ablation row by the sweep binaries — share it
+    /// instead of copying every sentence.
+    pub(crate) train_corpus: Arc<Corpus>,
 }
 
 /// Prior-scaled, tempered, bounded empirical transition factors
-/// `min((P(y'|y) / P(y'))^τ, 3)` from gold tag bigrams, with add-k
-/// smoothing on the bigram counts.
+/// `min((P(y'|y) / P(y'))^τ, cap)` from gold tag bigrams, with add-k
+/// smoothing on the bigram counts. `k` and `cap` come from
+/// [`GraphNerConfig::trans_add_k`] and
+/// [`GraphNerConfig::trans_ratio_cap`].
 ///
 /// The cap matters on corpora where a tag is almost absent (the AML
 /// profile has essentially no I tags): there the raw ratio
@@ -60,7 +64,12 @@ pub struct GraphNer {
 /// sentence-long I runs out of nothing but the propagation's uniform
 /// floor. A trained CRF never exhibits this because L2 regularization
 /// bounds its transition potentials; the cap plays the same role here.
-fn empirical_transitions(corpus: &Corpus, k: f64, tau: f64) -> [[f64; NUM_TAGS]; NUM_TAGS] {
+pub(crate) fn empirical_transitions(
+    corpus: &Corpus,
+    k: f64,
+    tau: f64,
+    cap: f64,
+) -> [[f64; NUM_TAGS]; NUM_TAGS] {
     let mut counts = [[k; NUM_TAGS]; NUM_TAGS];
     let mut unigrams = [k * NUM_TAGS as f64; NUM_TAGS];
     for sentence in &corpus.sentences {
@@ -80,7 +89,7 @@ fn empirical_transitions(corpus: &Corpus, k: f64, tau: f64) -> [[f64; NUM_TAGS];
         for yp in 0..NUM_TAGS {
             let cond = counts[y][yp] / z;
             let prior = unigrams[yp] / total;
-            out[y][yp] = (cond / prior).powf(tau).min(3.0);
+            out[y][yp] = (cond / prior).powf(tau).min(cap);
         }
     }
     out
@@ -102,8 +111,11 @@ pub struct TrainOutput {
 pub struct TestOutput {
     /// Final BIO labels per test sentence (Algorithm 1, line 9).
     pub predictions: Vec<Vec<BioTag>>,
-    /// The base CRF's own Viterbi labels for the same sentences, for
-    /// baseline comparison without a second CRF run.
+    /// Baseline labels for the same sentences: a posterior re-decode of
+    /// the already-computed test posteriors under the same transition
+    /// factors as the graph decode, so the comparison isolates the
+    /// graph's contribution (and α = 1 makes the two coincide) without
+    /// a second CRF inference pass.
     pub base_predictions: Vec<Vec<BioTag>>,
     /// Graph statistics (§III-D).
     pub stats: GraphStats,
@@ -156,9 +168,17 @@ impl GraphNer {
             .collect();
         let ref_seconds = t1.elapsed().as_secs_f64();
 
-        let transitions = empirical_transitions(train, 0.1, cfg.trans_power);
+        let transitions =
+            empirical_transitions(train, cfg.trans_add_k, cfg.trans_power, cfg.trans_ratio_cap);
         (
-            GraphNer { base, cfg, interner, x_ref, transitions, train_corpus: train.clone() },
+            GraphNer {
+                base,
+                cfg,
+                interner,
+                x_ref,
+                transitions,
+                train_corpus: Arc::new(train.clone()),
+            },
             TrainOutput { report, crf_seconds, ref_seconds },
         )
     }
@@ -188,149 +208,34 @@ impl GraphNer {
     /// for the Table III ablations, where only the graph construction
     /// and propagation settings vary.
     pub fn reconfigured(&self, cfg: GraphNerConfig) -> GraphNer {
-        let transitions = empirical_transitions(&self.train_corpus, 0.1, cfg.trans_power);
+        let transitions = empirical_transitions(
+            &self.train_corpus,
+            cfg.trans_add_k,
+            cfg.trans_power,
+            cfg.trans_ratio_cap,
+        );
         GraphNer {
             base: self.base.clone(),
             cfg,
             interner: self.interner.clone(),
             x_ref: self.x_ref.clone(),
             transitions,
-            train_corpus: self.train_corpus.clone(),
+            train_corpus: Arc::clone(&self.train_corpus),
         }
     }
 
     /// TEST (Algorithm 1, lines 4–9), transductively over this test set.
     ///
-    /// Each stage runs inside a `graphner-obs` span named by
+    /// Thin driver: opens a one-shot [`TestSession`] and runs it under
+    /// this model's configuration. Sweeps that vary only the
+    /// configuration (Tables III and IV) should instead hold one
+    /// session per test corpus and call [`TestSession::run`] per row,
+    /// reusing the cached posteriors and graph artifacts. Each stage
+    /// runs inside a `graphner-obs` span named by
     /// [`crate::timings::stage`]; the returned [`TestTimings`] is built
     /// from those recorded spans.
     pub fn test(&self, test: &Corpus) -> TestOutput {
-        let mut interner = self.interner.clone();
-
-        let ((predictions, base_predictions, stats, report), spans) = with_capture(|| {
-            // Line 5: CRF posteriors over D_l ∪ D_u (rayon over
-            // sentences).
-            let all_sentences: Vec<&Sentence> =
-                self.train_corpus.sentences.iter().chain(test.sentences.iter()).collect();
-            let posteriors: Vec<Vec<LabelDist>> = {
-                let _s = span(stage::POSTERIORS);
-                all_sentences.par_iter().map(|s| self.base.posteriors(s)).collect()
-            };
-            let transitions = self.transitions;
-
-            // Graph construction over the whole partially labelled
-            // corpus.
-            let graph = {
-                let _s = span(stage::GRAPH);
-                build_graph(
-                    &self.base,
-                    &mut interner,
-                    &all_sentences,
-                    self.cfg.feature_set,
-                    self.cfg.k,
-                )
-            };
-
-            // Line 6: X(v) = average posterior over occurrences of v.
-            let n = interner.len();
-            let mut x: Vec<LabelDist> = vec![[0.0; NUM_TAGS]; n];
-            {
-                let _s = span(stage::AVERAGE);
-                let mut occ = vec![0.0f64; n];
-                for (sentence, post) in all_sentences.iter().zip(&posteriors) {
-                    for i in 0..sentence.len() {
-                        let v = interner
-                            .lookup_at(sentence, i)
-                            .expect("all corpus trigrams are interned")
-                            as usize;
-                        for (xy, py) in x[v].iter_mut().zip(&post[i]) {
-                            *xy += py;
-                        }
-                        occ[v] += 1.0;
-                    }
-                }
-                for (xv, &o) in x.iter_mut().zip(&occ) {
-                    if o > 0.0 {
-                        for v in xv.iter_mut() {
-                            *v /= o;
-                        }
-                    } else {
-                        *xv = UNIFORM;
-                    }
-                }
-            }
-
-            // Line 7: propagate.
-            let x_ref_slice: Vec<Option<LabelDist>> =
-                (0..n as u32).map(|v| self.x_ref.get(&v).copied()).collect();
-            let report: PropagationReport = {
-                let _s = span(stage::PROPAGATE);
-                propagate(&graph, &mut x, &x_ref_slice, &self.cfg.propagation)
-            };
-
-            // Lines 8–9: combine and decode each test sentence.
-            let test_posteriors = &posteriors[self.train_corpus.len()..];
-            let alpha = self.cfg.alpha;
-            let predictions: Vec<Vec<BioTag>> = {
-                let _s = span(stage::DECODE);
-                test.sentences
-                    .par_iter()
-                    .zip(test_posteriors.par_iter())
-                    .map(|(sentence, post)| {
-                        if sentence.is_empty() {
-                            return Vec::new();
-                        }
-                        let combined: Vec<LabelDist> = (0..sentence.len())
-                            .map(|i| {
-                                match interner.lookup_at(sentence, i) {
-                                    Some(v) => {
-                                        let xv = &x[v as usize];
-                                        let mut d = [0.0; NUM_TAGS];
-                                        for y in 0..NUM_TAGS {
-                                            d[y] = alpha * post[i][y] + (1.0 - alpha) * xv[y];
-                                        }
-                                        d
-                                    }
-                                    // 3-gram missing from the graph: fall
-                                    // back to the CRF posterior alone
-                                    None => post[i],
-                                }
-                            })
-                            .collect();
-                        viterbi_tags(&combined, &transitions)
-                    })
-                    .collect()
-            };
-
-            // Baseline decode for comparison (not part of Algorithm 1).
-            let base_predictions: Vec<Vec<BioTag>> =
-                test.sentences.par_iter().map(|s| self.base.predict(s)).collect();
-
-            let stats = GraphStats::compute(&graph, &x_ref_slice);
-            (predictions, base_predictions, stats, report)
-        });
-
-        let timings = TestTimings::from_spans(&spans);
-        obs_summary!(
-            "graphner test: posteriors {:.3}s, graph {:.3}s, average {:.3}s, \
-             propagate {:.3}s, decode {:.3}s ({} sweeps, converged={})",
-            timings.posterior_seconds,
-            timings.graph_seconds,
-            timings.average_seconds,
-            timings.propagate_seconds,
-            timings.decode_seconds,
-            report.iterations,
-            report.converged
-        );
-
-        TestOutput {
-            predictions,
-            base_predictions,
-            stats,
-            timings,
-            propagation_iterations: report.iterations,
-            converged: report.converged,
-        }
+        TestSession::new(self, test).run(&self.cfg)
     }
 }
 
@@ -355,9 +260,9 @@ pub fn annotations_from_predictions(
 mod tests {
     use super::*;
     use crate::config::GraphFeatureSet;
-    use graphner_crf::{Order, TrainConfig};
+    use graphner_crf::{viterbi_tags, Order, TrainConfig};
     use graphner_graph::PropagationParams;
-    use graphner_text::{tokenize, BioTag::*};
+    use graphner_text::{tokenize, BioTag::*, Sentence};
 
     fn quick_base_cfg() -> NerConfig {
         NerConfig {
@@ -554,7 +459,7 @@ mod inductive_tests {
     use super::*;
     use crate::config::GraphNerConfig;
     use graphner_crf::{Order, TrainConfig};
-    use graphner_text::{tokenize, BioTag::*};
+    use graphner_text::{tokenize, BioTag::*, Sentence};
 
     #[test]
     fn inductive_loop_converges_and_stays_sane() {

@@ -1,0 +1,570 @@
+//! Staged test pipeline with a session-level artifact cache.
+//!
+//! Algorithm 1's TEST procedure decomposes into five stages, each a
+//! struct whose `run` consumes and produces *named artifacts*:
+//!
+//! ```text
+//! PosteriorStage ─▶ CorpusPosteriors ─┬─▶ AverageStage ─▶ VertexBeliefs
+//! GraphStage     ─▶ KnnGraph ─────────┤
+//!                                     ├─▶ PropagateStage ─▶ VertexBeliefs
+//!                                     └─▶ DecodeStage ─▶ predictions
+//! ```
+//!
+//! [`GraphNer::test`] is a thin driver over [`TestSession`], which owns
+//! the artifacts. The point of the session is the ablation sweeps
+//! (Tables III and IV): every row of those tables varies only the graph
+//! or propagation hyper-parameters, yet the monolithic `test` recomputed
+//! the CRF posteriors over `D_l ∪ D_u` — by far the dominant cost — and
+//! the PMI vectors for every row. A session caches
+//!
+//! * the corpus posteriors (config-independent),
+//! * the grown interner (its content is feature-set-independent),
+//! * PMI vertex vectors per [`GraphFeatureSet`],
+//! * k-NN graphs per (feature set, K),
+//! * the averaged vertex beliefs and the dense `X_ref` slice,
+//!
+//! and each [`TestSession::run`] reuses whatever the requested
+//! configuration allows. Stage spans ([`stage`]) are recorded only when
+//! a stage actually computes, so the per-row [`TestTimings`] reflect
+//! real work: a cached stage contributes zero seconds.
+
+use crate::config::{GraphFeatureSet, GraphNerConfig};
+use crate::graphbuild::{build_vertex_vectors, knn_from_vectors};
+use crate::model::{empirical_transitions, GraphNer, TestOutput};
+use crate::stats::GraphStats;
+use crate::timings::{stage, TestTimings};
+use graphner_banner::NerModel;
+use graphner_crf::viterbi_tags;
+use graphner_graph::{propagate, KnnGraph, LabelDist, SparseVec, UNIFORM};
+use graphner_obs::{obs_summary, span, with_capture};
+use graphner_text::{BioTag, Corpus, Sentence, Tagger, TrigramInterner, NUM_TAGS};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Per-vertex label beliefs, indexed by interner vertex id — the `X`
+/// of Algorithm 1, produced by [`AverageStage`] and refined in place by
+/// [`PropagateStage`].
+pub type VertexBeliefs = Vec<LabelDist>;
+
+/// CRF posteriors over `D_l ∪ D_u`, in corpus order (train first).
+#[derive(Clone, Debug)]
+pub struct CorpusPosteriors {
+    /// One posterior row per token, one inner vec per sentence.
+    pub per_sentence: Vec<Vec<LabelDist>>,
+    /// Number of leading train sentences.
+    pub num_train: usize,
+}
+
+impl CorpusPosteriors {
+    /// The test-sentence slice (`D_u`).
+    pub fn test(&self) -> &[Vec<LabelDist>] {
+        &self.per_sentence[self.num_train..]
+    }
+}
+
+/// The sentences the transductive procedure ranges over: `D_l ∪ D_u`
+/// in a fixed order (train first), shared by every stage.
+fn all_sentences<'s>(model: &'s GraphNer, test: &'s Corpus) -> Vec<&'s Sentence> {
+    model.train_corpus.sentences.iter().chain(test.sentences.iter()).collect()
+}
+
+/// Line 5: CRF posterior extraction over `D_l ∪ D_u`.
+pub struct PosteriorStage;
+
+impl PosteriorStage {
+    /// Run the base CRF's forward-backward over every sentence (rayon
+    /// over sentences).
+    pub fn run(model: &GraphNer, test: &Corpus) -> CorpusPosteriors {
+        let sentences = all_sentences(model, test);
+        let per_sentence: Vec<Vec<LabelDist>> =
+            sentences.par_iter().map(|s| model.base.posteriors(s)).collect();
+        CorpusPosteriors { per_sentence, num_train: model.train_corpus.len() }
+    }
+}
+
+/// Graph construction: PMI feature vectors, then cosine k-NN.
+pub struct GraphStage;
+
+impl GraphStage {
+    /// Build the PMI vertex vectors for a feature set, interning every
+    /// 3-gram of `D_l ∪ D_u` into `interner`. K-independent.
+    pub fn vectors(
+        model: &GraphNer,
+        interner: &mut TrigramInterner,
+        test: &Corpus,
+        feature_set: GraphFeatureSet,
+    ) -> Vec<SparseVec> {
+        let sentences = all_sentences(model, test);
+        build_vertex_vectors(&model.base, interner, &sentences, feature_set)
+    }
+
+    /// Connect precomputed vectors into the K-nearest-neighbour graph.
+    pub fn connect(vectors: &[SparseVec], k: usize) -> KnnGraph {
+        knn_from_vectors(vectors, k)
+    }
+}
+
+/// Line 6: `X(v)` = average CRF posterior over the occurrences of `v`.
+pub struct AverageStage;
+
+impl AverageStage {
+    /// Average the posteriors vertex-wise. `interner` must already
+    /// contain every 3-gram of `D_l ∪ D_u` (i.e. [`GraphStage::vectors`]
+    /// ran first); vertices with no occurrence get the uniform belief.
+    pub fn run(
+        model: &GraphNer,
+        test: &Corpus,
+        posteriors: &CorpusPosteriors,
+        interner: &TrigramInterner,
+    ) -> VertexBeliefs {
+        let n = interner.len();
+        let mut x: VertexBeliefs = vec![[0.0; NUM_TAGS]; n];
+        let mut occ = vec![0.0f64; n];
+        for (sentence, post) in all_sentences(model, test).iter().zip(&posteriors.per_sentence) {
+            for i in 0..sentence.len() {
+                let v = interner.lookup_at(sentence, i).expect("all corpus trigrams are interned")
+                    as usize;
+                for (xy, py) in x[v].iter_mut().zip(&post[i]) {
+                    *xy += py;
+                }
+                occ[v] += 1.0;
+            }
+        }
+        for (xv, &o) in x.iter_mut().zip(&occ) {
+            if o > 0.0 {
+                for v in xv.iter_mut() {
+                    *v /= o;
+                }
+            } else {
+                *xv = UNIFORM;
+            }
+        }
+        x
+    }
+}
+
+/// Line 7: Jacobi label propagation over the similarity graph.
+pub struct PropagateStage;
+
+impl PropagateStage {
+    /// Propagate in place; returns the sweep report.
+    pub fn run(
+        graph: &KnnGraph,
+        x: &mut VertexBeliefs,
+        x_ref: &[Option<LabelDist>],
+        cfg: &GraphNerConfig,
+    ) -> graphner_graph::PropagationReport {
+        propagate(graph, x, x_ref, &cfg.propagation)
+    }
+}
+
+/// Lines 8–9: combine beliefs with the CRF posteriors and re-decode.
+pub struct DecodeStage;
+
+impl DecodeStage {
+    /// Decode every test sentence from its cached posteriors and the
+    /// propagated vertex beliefs.
+    pub fn run(
+        test: &Corpus,
+        test_posteriors: &[Vec<LabelDist>],
+        interner: &TrigramInterner,
+        x: &[LabelDist],
+        alpha: f64,
+        transitions: &[[f64; NUM_TAGS]; NUM_TAGS],
+    ) -> Vec<Vec<BioTag>> {
+        test.sentences
+            .par_iter()
+            .zip(test_posteriors.par_iter())
+            .map(|(sentence, post)| {
+                combine_and_decode(sentence, post, interner, x, alpha, transitions)
+            })
+            .collect()
+    }
+}
+
+/// Line 8: `P'_s(i) = α·P_s(i) + (1−α)·X(trigram at i)`, falling back
+/// to the CRF posterior alone where the 3-gram is not in the graph.
+fn combined_beliefs(
+    sentence: &Sentence,
+    post: &[LabelDist],
+    interner: &TrigramInterner,
+    x: &[LabelDist],
+    alpha: f64,
+) -> Vec<LabelDist> {
+    (0..sentence.len())
+        .map(|i| match interner.lookup_at(sentence, i) {
+            Some(v) => {
+                let xv = &x[v as usize];
+                let mut d = [0.0; NUM_TAGS];
+                for y in 0..NUM_TAGS {
+                    d[y] = alpha * post[i][y] + (1.0 - alpha) * xv[y];
+                }
+                d
+            }
+            None => post[i],
+        })
+        .collect()
+}
+
+/// Lines 8–9 for a single sentence.
+fn combine_and_decode(
+    sentence: &Sentence,
+    post: &[LabelDist],
+    interner: &TrigramInterner,
+    x: &[LabelDist],
+    alpha: f64,
+    transitions: &[[f64; NUM_TAGS]; NUM_TAGS],
+) -> Vec<BioTag> {
+    if sentence.is_empty() {
+        return Vec::new();
+    }
+    let combined = combined_beliefs(sentence, post, interner, x, alpha);
+    viterbi_tags(&combined, transitions)
+}
+
+/// A cached test session over one `(model, test corpus)` pair.
+///
+/// Construct once per test corpus and call [`TestSession::run`] with as
+/// many configurations as needed — the Table III/IV sweeps run every
+/// ablation row through one session so the CRF posteriors are extracted
+/// once, not once per row. Artifacts invalidate never: the model and
+/// corpus are borrowed immutably for the session's lifetime, so every
+/// cached artifact stays valid.
+pub struct TestSession<'a> {
+    model: &'a GraphNer,
+    test: &'a Corpus,
+    /// Starts as the model's train-time interner (so vertex ids agree
+    /// with `X_ref`) and grows to cover `D_u` on the first graph build.
+    interner: TrigramInterner,
+    posteriors: Option<CorpusPosteriors>,
+    /// PMI vectors per [`GraphFeatureSet::cache_key`].
+    vectors: FxHashMap<(u8, u64), Vec<SparseVec>>,
+    /// k-NN graphs per (feature-set key, K).
+    graphs: FxHashMap<((u8, u64), usize), KnnGraph>,
+    /// Averaged vertex beliefs (config-independent).
+    averaged: Option<VertexBeliefs>,
+    /// Dense `X_ref` slice, indexed by vertex id.
+    x_ref_slice: Option<Vec<Option<LabelDist>>>,
+}
+
+impl<'a> TestSession<'a> {
+    /// Open a session for one test corpus.
+    pub fn new(model: &'a GraphNer, test: &'a Corpus) -> TestSession<'a> {
+        TestSession {
+            model,
+            test,
+            interner: model.interner.clone(),
+            posteriors: None,
+            vectors: FxHashMap::default(),
+            graphs: FxHashMap::default(),
+            averaged: None,
+            x_ref_slice: None,
+        }
+    }
+
+    /// Number of distinct k-NN graphs built so far.
+    pub fn cached_graph_count(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Number of distinct PMI vector sets built so far.
+    pub fn cached_vector_count(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn ensure_posteriors(&mut self) {
+        if self.posteriors.is_none() {
+            let _s = span(stage::POSTERIORS);
+            self.posteriors = Some(PosteriorStage::run(self.model, self.test));
+        }
+    }
+
+    fn ensure_graph(&mut self, feature_set: GraphFeatureSet, k: usize) {
+        let fs_key = feature_set.cache_key();
+        if self.graphs.contains_key(&(fs_key, k)) {
+            return;
+        }
+        // the span covers only the work this configuration adds: the
+        // vectors when the feature set is new, plus the k-NN pass
+        let _s = span(stage::GRAPH);
+        if !self.vectors.contains_key(&fs_key) {
+            let v = GraphStage::vectors(self.model, &mut self.interner, self.test, feature_set);
+            self.vectors.insert(fs_key, v);
+        }
+        let graph = GraphStage::connect(&self.vectors[&fs_key], k);
+        self.graphs.insert((fs_key, k), graph);
+    }
+
+    /// Requires a prior [`Self::ensure_graph`], which completes the
+    /// interner over `D_l ∪ D_u`.
+    fn ensure_averaged(&mut self) {
+        if self.averaged.is_none() {
+            let _s = span(stage::AVERAGE);
+            let posteriors = self.posteriors.as_ref().expect("posteriors before averaging");
+            self.averaged =
+                Some(AverageStage::run(self.model, self.test, posteriors, &self.interner));
+        }
+    }
+
+    fn ensure_x_ref_slice(&mut self) {
+        if self.x_ref_slice.is_none() {
+            let n = self.interner.len();
+            self.x_ref_slice =
+                Some((0..n as u32).map(|v| self.model.x_ref.get(&v).copied()).collect());
+        }
+    }
+
+    /// TEST (Algorithm 1, lines 4–9) under one configuration, reusing
+    /// every cached artifact the configuration permits.
+    pub fn run(&mut self, cfg: &GraphNerConfig) -> TestOutput {
+        let ((predictions, base_predictions, stats, report), spans) = with_capture(|| {
+            self.ensure_posteriors();
+            self.ensure_graph(cfg.feature_set, cfg.k);
+            self.ensure_averaged();
+            self.ensure_x_ref_slice();
+
+            let graph = &self.graphs[&(cfg.feature_set.cache_key(), cfg.k)];
+            let x_ref_slice = self.x_ref_slice.as_ref().expect("ensured above");
+            let posteriors = self.posteriors.as_ref().expect("ensured above");
+
+            // propagation mutates the beliefs, so each run works on a
+            // copy of the cached averages
+            let mut x = self.averaged.clone().expect("ensured above");
+            let report = {
+                let _s = span(stage::PROPAGATE);
+                PropagateStage::run(graph, &mut x, x_ref_slice, cfg)
+            };
+
+            let transitions = empirical_transitions(
+                &self.model.train_corpus,
+                cfg.trans_add_k,
+                cfg.trans_power,
+                cfg.trans_ratio_cap,
+            );
+            let test_posteriors = posteriors.test();
+            let predictions = {
+                let _s = span(stage::DECODE);
+                DecodeStage::run(
+                    self.test,
+                    test_posteriors,
+                    &self.interner,
+                    &x,
+                    cfg.alpha,
+                    &transitions,
+                )
+            };
+
+            // Baseline decode for comparison (not part of Algorithm 1):
+            // a posterior re-decode of the already-computed test
+            // posteriors under the same transitions, so α = 1 makes
+            // `predictions` and `base_predictions` coincide.
+            let base_predictions: Vec<Vec<BioTag>> =
+                test_posteriors.par_iter().map(|post| viterbi_tags(post, &transitions)).collect();
+
+            let stats = GraphStats::compute(graph, x_ref_slice);
+            (predictions, base_predictions, stats, report)
+        });
+
+        let timings = TestTimings::from_spans(&spans);
+        obs_summary!(
+            "graphner test: posteriors {:.3}s, graph {:.3}s, average {:.3}s, \
+             propagate {:.3}s, decode {:.3}s ({} sweeps, converged={})",
+            timings.posterior_seconds,
+            timings.graph_seconds,
+            timings.average_seconds,
+            timings.propagate_seconds,
+            timings.decode_seconds,
+            report.iterations,
+            report.converged
+        );
+
+        TestOutput {
+            predictions,
+            base_predictions,
+            stats,
+            timings,
+            propagation_iterations: report.iterations,
+            converged: report.converged,
+        }
+    }
+
+    /// Freeze the session's propagated beliefs under `cfg` into a
+    /// standalone [`GraphTagger`].
+    pub fn tagger(&mut self, cfg: &GraphNerConfig) -> GraphTagger {
+        self.ensure_posteriors();
+        self.ensure_graph(cfg.feature_set, cfg.k);
+        self.ensure_averaged();
+        self.ensure_x_ref_slice();
+        let graph = &self.graphs[&(cfg.feature_set.cache_key(), cfg.k)];
+        let mut x = self.averaged.clone().expect("ensured above");
+        PropagateStage::run(graph, &mut x, self.x_ref_slice.as_ref().expect("ensured above"), cfg);
+        GraphTagger {
+            base: self.model.base.clone(),
+            interner: self.interner.clone(),
+            x,
+            alpha: cfg.alpha,
+            transitions: empirical_transitions(
+                &self.model.train_corpus,
+                cfg.trans_add_k,
+                cfg.trans_power,
+                cfg.trans_ratio_cap,
+            ),
+        }
+    }
+}
+
+/// The GraphNER decode as a serving-style [`Tagger`]: the base CRF plus
+/// the propagated vertex beliefs frozen at the end of a [`TestSession`].
+///
+/// On the session's test sentences its predictions are exactly the
+/// session's. On new sentences it is an *inductive* application of the
+/// transductive model: tokens whose 3-gram appeared in `D_l ∪ D_u` get
+/// the graph-interpolated belief, unseen 3-grams fall back to the CRF
+/// posterior alone.
+#[derive(Clone, Debug)]
+pub struct GraphTagger {
+    base: NerModel,
+    interner: TrigramInterner,
+    x: VertexBeliefs,
+    alpha: f64,
+    transitions: [[f64; NUM_TAGS]; NUM_TAGS],
+}
+
+impl Tagger for GraphTagger {
+    fn predict(&self, sentence: &Sentence) -> Vec<BioTag> {
+        let post = self.base.posteriors(sentence);
+        combine_and_decode(sentence, &post, &self.interner, &self.x, self.alpha, &self.transitions)
+    }
+
+    /// The combined beliefs `P'_s` of line 8 — each row is a convex
+    /// combination of distributions, hence itself a distribution.
+    fn posteriors(&self, sentence: &Sentence) -> Vec<LabelDist> {
+        let post = self.base.posteriors(sentence);
+        combined_beliefs(sentence, &post, &self.interner, &self.x, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphner_banner::NerConfig;
+    use graphner_crf::{Order, TrainConfig};
+    use graphner_text::{tokenize, BioTag::*};
+
+    fn quick_base_cfg() -> NerConfig {
+        NerConfig {
+            order: Order::One,
+            train: TrainConfig { max_iterations: 60, l2: 0.1, ..Default::default() },
+            min_feature_count: 1,
+        }
+    }
+
+    fn toy_train() -> Corpus {
+        let mk =
+            |id: &str, text: &str, tags: Vec<BioTag>| Sentence::labelled(id, tokenize(text), tags);
+        Corpus::from_sentences(vec![
+            mk("s0", "the WT1 gene was expressed", vec![O, B, O, O, O]),
+            mk("s1", "mutation of SH2B3 was detected", vec![O, O, B, O, O]),
+            mk("s2", "the KRAS gene was mutated", vec![O, B, O, O, O]),
+            mk("s3", "expression of TP53 was low", vec![O, O, B, O, O]),
+            mk("s4", "the patient was treated", vec![O, O, O, O]),
+            mk("s5", "no mutation was found", vec![O, O, O, O]),
+        ])
+    }
+
+    fn toy_test() -> Corpus {
+        Corpus::from_sentences(vec![
+            Sentence::unlabelled("t0", tokenize("the FLT3 gene was expressed")),
+            Sentence::unlabelled("t1", tokenize("no mutation was found")),
+        ])
+    }
+
+    fn count(spans: &[graphner_obs::SpanRecord], name: &str) -> usize {
+        spans.iter().filter(|s| s.name == name).count()
+    }
+
+    #[test]
+    fn session_matches_thin_driver_and_reuses_posteriors() {
+        let train = toy_train();
+        let test = toy_test();
+        let (gner, _) = GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
+        let one_shot = gner.test(&test);
+
+        let mut session = TestSession::new(&gner, &test);
+        let (outs, spans) = with_capture(|| {
+            let a = session.run(gner.config());
+            let b = session.run(gner.config());
+            (a, b)
+        });
+        // identical predictions on every run, cached or not
+        assert_eq!(outs.0.predictions, one_shot.predictions);
+        assert_eq!(outs.1.predictions, one_shot.predictions);
+        assert_eq!(outs.0.base_predictions, one_shot.base_predictions);
+        assert_eq!(outs.1.base_predictions, one_shot.base_predictions);
+        // heavy stages ran once; only propagate + decode repeat
+        assert_eq!(count(&spans, stage::POSTERIORS), 1);
+        assert_eq!(count(&spans, stage::GRAPH), 1);
+        assert_eq!(count(&spans, stage::AVERAGE), 1);
+        assert_eq!(count(&spans, stage::PROPAGATE), 2);
+        assert_eq!(count(&spans, stage::DECODE), 2);
+        // and the cached second run reports zero seconds for them
+        assert_eq!(outs.1.timings.posterior_seconds, 0.0);
+        assert_eq!(outs.1.timings.graph_seconds, 0.0);
+        assert!(outs.1.timings.propagate_seconds > 0.0);
+    }
+
+    #[test]
+    fn session_sweep_matches_reconfigured_models() {
+        let train = toy_train();
+        let test = toy_test();
+        let (gner, _) = GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
+        let variants = [
+            GraphNerConfig { k: 5, ..GraphNerConfig::default() },
+            GraphNerConfig { feature_set: GraphFeatureSet::Lexical, ..GraphNerConfig::default() },
+            GraphNerConfig { alpha: 0.5, ..GraphNerConfig::default() },
+        ];
+        let mut session = TestSession::new(&gner, &test);
+        for cfg in variants {
+            let staged = session.run(&cfg);
+            let fresh = gner.reconfigured(cfg).test(&test);
+            assert_eq!(staged.predictions, fresh.predictions);
+            assert_eq!(staged.stats.num_edges, fresh.stats.num_edges);
+        }
+        // All + Lexical vector sets; (All,10), (All,5), (Lexical,10) graphs
+        assert_eq!(session.cached_vector_count(), 2);
+        assert_eq!(session.cached_graph_count(), 3);
+    }
+
+    #[test]
+    fn vectors_are_reused_across_k() {
+        let train = toy_train();
+        let test = toy_test();
+        let (gner, _) = GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
+        let mut session = TestSession::new(&gner, &test);
+        session.run(&GraphNerConfig { k: 10, ..GraphNerConfig::default() });
+        session.run(&GraphNerConfig { k: 5, ..GraphNerConfig::default() });
+        assert_eq!(session.cached_vector_count(), 1);
+        assert_eq!(session.cached_graph_count(), 2);
+    }
+
+    #[test]
+    fn graph_tagger_matches_session_predictions() {
+        let train = toy_train();
+        let test = toy_test();
+        let (gner, _) = GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
+        let mut session = TestSession::new(&gner, &test);
+        let out = session.run(gner.config());
+        let tagger = session.tagger(gner.config());
+        for (sentence, expect) in test.sentences.iter().zip(&out.predictions) {
+            assert_eq!(&tagger.predict(sentence), expect);
+            // combined beliefs are distributions
+            for row in tagger.posteriors(sentence) {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "row sums to {sum}");
+            }
+        }
+        // inductive fallback: a sentence with unseen trigrams still tags
+        let novel = Sentence::unlabelled("n0", tokenize("completely unrelated words here"));
+        assert_eq!(tagger.predict(&novel).len(), 4);
+    }
+}

@@ -54,6 +54,18 @@ impl ChainCrf {
         ChainCrf { space, num_obs, params: vec![0.0; n_params] }
     }
 
+    /// Reassemble a trained CRF from its persisted parts: the chain
+    /// order, the observation-feature count, and the flat parameter
+    /// vector in the layout documented on [`ChainCrf`].
+    ///
+    /// # Panics
+    /// Panics if `params` has the wrong length for `(order, num_obs)`.
+    pub fn from_parts(order: Order, num_obs: usize, params: Vec<f64>) -> ChainCrf {
+        let mut crf = ChainCrf::new(order, num_obs);
+        crf.set_params(params);
+        crf
+    }
+
     /// The chain state space.
     pub fn space(&self) -> &StateSpace {
         &self.space

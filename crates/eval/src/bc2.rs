@@ -13,6 +13,8 @@
 //! or any grouped alternative consumes that gold mention exactly once.
 
 use graphner_text::bc2::{AnnotationSet, Bc2Annotation};
+use graphner_text::sentence::tags_to_mentions;
+use graphner_text::{Corpus, Tagger};
 use rustc_hash::FxHashMap;
 
 /// Aggregate counts of an evaluation run.
@@ -170,6 +172,28 @@ pub fn evaluate(system: &AnnotationSet, gold: &AnnotationSet) -> Evaluation {
     eval
 }
 
+/// Predict every sentence of `test` with a [`Tagger`], convert the
+/// predictions to BC2 annotations, and score them against `gold`.
+///
+/// This is the one-call evaluation path for anything implementing the
+/// trait — the base CRF, the LSTM-CRF baseline, or a GraphNER decode —
+/// replacing the per-model predict/convert/evaluate glue the experiment
+/// binaries used to duplicate.
+pub fn evaluate_tagger(
+    tagger: &impl Tagger,
+    test: &Corpus,
+    gold: &AnnotationSet,
+) -> (Evaluation, AnnotationSet) {
+    let mut detections = AnnotationSet::new();
+    for sentence in &test.sentences {
+        let tags = tagger.predict(sentence);
+        for m in tags_to_mentions(&tags) {
+            detections.add_primary(Bc2Annotation::from_mention(sentence, &m));
+        }
+    }
+    (evaluate(&detections, gold), detections)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +299,50 @@ mod tests {
         let p = 0.75;
         let r = 0.5;
         assert!((c.f_score() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_tagger_matches_manual_path() {
+        use graphner_text::{BioTag, Sentence, NUM_TAGS};
+
+        /// Tags every token that contains a digit as B.
+        struct DigitTagger;
+        impl Tagger for DigitTagger {
+            fn predict(&self, s: &Sentence) -> Vec<BioTag> {
+                s.tokens
+                    .iter()
+                    .map(
+                        |t| {
+                            if t.chars().any(|c| c.is_ascii_digit()) {
+                                BioTag::B
+                            } else {
+                                BioTag::O
+                            }
+                        },
+                    )
+                    .collect()
+            }
+            fn posteriors(&self, s: &Sentence) -> Vec<[f64; NUM_TAGS]> {
+                self.predict(s)
+                    .into_iter()
+                    .map(|t| {
+                        let mut d = [0.0; NUM_TAGS];
+                        d[t.index()] = 1.0;
+                        d
+                    })
+                    .collect()
+            }
+        }
+
+        let tokens = |ws: &[&str]| ws.iter().map(|w| w.to_string()).collect::<Vec<_>>();
+        let test = Corpus::from_sentences(vec![
+            Sentence::unlabelled("s1", tokens(&["the", "WT1", "gene"])),
+            Sentence::unlabelled("s2", tokens(&["no", "genes", "here"])),
+        ]);
+        // gold: WT1 at space-free offsets 3..=5 in s1
+        let gold = set(&[("s1", 3, 5)], &[]);
+        let (e, detections) = evaluate_tagger(&DigitTagger, &test, &gold);
+        assert_eq!(e.totals, Counts { tp: 1, detections: 1, gold: 1 });
+        assert_eq!(detections.primary["s1"][0].text, "WT1");
     }
 }

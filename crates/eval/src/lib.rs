@@ -18,7 +18,7 @@ pub mod sigf;
 pub mod stats;
 pub mod upset;
 
-pub use bc2::{evaluate, Counts, Evaluation};
+pub use bc2::{evaluate, evaluate_tagger, Counts, Evaluation};
 pub use errors::{false_positives, Category, CategoryCounts, ErrorCall};
 pub use sigf::{sigf, Metric, SigfResult};
 pub use stats::{chi2_sf_1df, erfc, prop_test, ProportionTest};

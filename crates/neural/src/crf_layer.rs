@@ -114,6 +114,49 @@ impl CrfLayer {
         (loss, demissions)
     }
 
+    /// Per-token unary marginals `p(t_i = y | x)` via forward–backward,
+    /// the same recurrences as [`loss_and_grad`](CrfLayer::loss_and_grad)
+    /// without gold tags or gradient accumulation.
+    pub fn marginals(&self, emissions: &[[f64; Y]]) -> Vec<[f64; Y]> {
+        let l = emissions.len();
+        if l == 0 {
+            return Vec::new();
+        }
+        let mut alpha = vec![[0.0f64; Y]; l];
+        for y in 0..Y {
+            alpha[0][y] = self.start[y] + emissions[0][y];
+        }
+        for t in 1..l {
+            for y in 0..Y {
+                let mut acc = [0.0; Y];
+                for p in 0..Y {
+                    acc[p] = alpha[t - 1][p] + self.trans[p][y];
+                }
+                alpha[t][y] = logsumexp(&acc) + emissions[t][y];
+            }
+        }
+        let log_z = logsumexp(&alpha[l - 1]);
+
+        let mut beta = vec![[0.0f64; Y]; l];
+        for t in (0..l - 1).rev() {
+            for y in 0..Y {
+                let mut acc = [0.0; Y];
+                for n in 0..Y {
+                    acc[n] = self.trans[y][n] + emissions[t + 1][n] + beta[t + 1][n];
+                }
+                beta[t][y] = logsumexp(&acc);
+            }
+        }
+
+        let mut marginals = vec![[0.0f64; Y]; l];
+        for t in 0..l {
+            for y in 0..Y {
+                marginals[t][y] = (alpha[t][y] + beta[t][y] - log_z).exp();
+            }
+        }
+        marginals
+    }
+
     /// Viterbi decode over emissions.
     pub fn viterbi(&self, emissions: &[[f64; Y]]) -> Vec<usize> {
         let l = emissions.len();
@@ -347,6 +390,29 @@ mod tests {
             layer.sgd_step(0.5, 1.0);
         }
         assert_eq!(layer.viterbi(&em), gold);
+    }
+
+    #[test]
+    fn marginals_are_distributions_and_match_gradient_path() {
+        let layer = toy_layer(17);
+        let em = emissions(5, 19);
+        let marg = layer.marginals(&em);
+        assert_eq!(marg.len(), 5);
+        for row in &marg {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+        // loss_and_grad's emission gradient is marginals − one-hot(gold)
+        let gold = vec![0, 1, 2, 0, 1];
+        let (_, dem) = layer.clone().loss_and_grad(&em, &gold);
+        for t in 0..5 {
+            for y in 0..Y {
+                let expect = dem[t][y] + if gold[t] == y { 1.0 } else { 0.0 };
+                assert!((marg[t][y] - expect).abs() < 1e-12, "t={t} y={y}");
+            }
+        }
+        assert!(layer.marginals(&[]).is_empty());
     }
 
     #[test]

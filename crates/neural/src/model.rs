@@ -12,7 +12,7 @@
 use crate::crf_layer::CrfLayer;
 use crate::lstm::BiLstm;
 use graphner_text::sentence::tags_to_mentions;
-use graphner_text::{BioTag, Corpus, Sentence, Vocab, NUM_TAGS};
+use graphner_text::{BioTag, Corpus, Sentence, Tagger, Vocab, NUM_TAGS};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -297,6 +297,27 @@ impl TrainedLstmCrf {
     pub fn predict(&self, sentence: &Sentence) -> Vec<BioTag> {
         self.tagger.predict_with(&self.crf, sentence)
     }
+
+    /// Per-token tag posteriors from the CRF layer's forward–backward
+    /// marginals over the bi-LSTM emissions.
+    pub fn posteriors(&self, sentence: &Sentence) -> Vec<[f64; NUM_TAGS]> {
+        if sentence.is_empty() {
+            return Vec::new();
+        }
+        let ids: Vec<u32> = sentence.tokens.iter().map(|t| self.tagger.word_id(t)).collect();
+        let f = self.tagger.forward(&sentence.tokens, ids);
+        self.crf.marginals(&f.emissions)
+    }
+}
+
+impl Tagger for TrainedLstmCrf {
+    fn predict(&self, sentence: &Sentence) -> Vec<BioTag> {
+        TrainedLstmCrf::predict(self, sentence)
+    }
+
+    fn posteriors(&self, sentence: &Sentence) -> Vec<[f64; NUM_TAGS]> {
+        TrainedLstmCrf::posteriors(self, sentence)
+    }
 }
 
 /// One SGD step on a sentence.
@@ -511,6 +532,21 @@ mod tests {
         let model = TrainedLstmCrf::train(&train, &dev, &cfg);
         let s = Sentence::unlabelled("t", tokenize("the WT1 gene was expressed"));
         assert_eq!(model.predict(&s), vec![O, B, O, O, O]);
+    }
+
+    #[test]
+    fn posteriors_are_distributions_consistent_with_viterbi() {
+        let (train, dev) = toy_corpora();
+        let model = TrainedLstmCrf::train(&train, &dev, &quick_cfg());
+        let s = Sentence::unlabelled("t", tokenize("the WT1 gene was expressed"));
+        let post = model.posteriors(&s);
+        assert_eq!(post.len(), 5);
+        for row in &post {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        assert!(post[1][B.index()] > 0.5, "post = {:?}", post[1]);
+        assert!(model.posteriors(&Sentence::unlabelled("e", vec![])).is_empty());
     }
 
     #[test]

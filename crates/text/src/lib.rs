@@ -20,6 +20,7 @@ pub mod sentence;
 pub mod shape;
 pub mod stem;
 pub mod tag;
+pub mod tagger;
 pub mod tokenize;
 pub mod vocab;
 
@@ -30,5 +31,6 @@ pub use sentence::{Mention, Sentence};
 pub use shape::{brief_shape, word_shape};
 pub use stem::lemma;
 pub use tag::{BioTag, NUM_TAGS};
+pub use tagger::Tagger;
 pub use tokenize::tokenize;
 pub use vocab::Vocab;

@@ -1,0 +1,110 @@
+//! The [`Tagger`] trait: the train-independent face of every sequence
+//! tagger in the workspace.
+//!
+//! GraphNER juggles three tagger families — the BANNER-style CRF
+//! (`graphner-banner`), the bi-LSTM-CRF baseline (`graphner-neural`),
+//! and GraphNER's own graph-augmented decode (`graphner-core`). They
+//! train very differently but are *consumed* identically: hand them a
+//! sentence, get back BIO tags and per-token label distributions. This
+//! trait captures exactly that consumption surface so evaluation
+//! helpers and experiment binaries can be written once against
+//! `impl Tagger` instead of duplicating per-model glue.
+
+use crate::corpus::Corpus;
+use crate::sentence::Sentence;
+use crate::tag::{BioTag, NUM_TAGS};
+
+/// A trained sequence tagger over the BIO tag set.
+///
+/// Implementations must satisfy two invariants for non-empty sentences:
+/// `predict` and `posteriors` return one entry per token, and each
+/// posterior row is a probability distribution over
+/// [`tag_count`](Tagger::tag_count) labels. Empty sentences map to
+/// empty outputs.
+pub trait Tagger {
+    /// Most-likely BIO tag sequence for a sentence.
+    fn predict(&self, sentence: &Sentence) -> Vec<BioTag>;
+
+    /// Per-token label distributions (marginal beliefs) for a sentence.
+    fn posteriors(&self, sentence: &Sentence) -> Vec<[f64; NUM_TAGS]>;
+
+    /// Number of labels the tagger scores — the BIO scheme's
+    /// [`NUM_TAGS`] for every tagger in this workspace.
+    fn tag_count(&self) -> usize {
+        NUM_TAGS
+    }
+
+    /// Predict every sentence of a corpus, in corpus order.
+    fn predict_corpus(&self, corpus: &Corpus) -> Vec<Vec<BioTag>> {
+        corpus.sentences.iter().map(|s| self.predict(s)).collect()
+    }
+}
+
+impl<T: Tagger + ?Sized> Tagger for &T {
+    fn predict(&self, sentence: &Sentence) -> Vec<BioTag> {
+        (**self).predict(sentence)
+    }
+
+    fn posteriors(&self, sentence: &Sentence) -> Vec<[f64; NUM_TAGS]> {
+        (**self).posteriors(sentence)
+    }
+
+    fn tag_count(&self) -> usize {
+        (**self).tag_count()
+    }
+
+    fn predict_corpus(&self, corpus: &Corpus) -> Vec<Vec<BioTag>> {
+        (**self).predict_corpus(corpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::BioTag::*;
+
+    /// A toy tagger: everything is O except tokens that contain a digit.
+    struct DigitTagger;
+
+    impl Tagger for DigitTagger {
+        fn predict(&self, sentence: &Sentence) -> Vec<BioTag> {
+            sentence
+                .tokens
+                .iter()
+                .map(|t| if t.chars().any(|c| c.is_ascii_digit()) { B } else { O })
+                .collect()
+        }
+
+        fn posteriors(&self, sentence: &Sentence) -> Vec<[f64; NUM_TAGS]> {
+            self.predict(sentence)
+                .into_iter()
+                .map(|t| {
+                    let mut d = [0.0; NUM_TAGS];
+                    d[t.index()] = 1.0;
+                    d
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn default_methods_cover_corpus_and_tag_count() {
+        let tagger = DigitTagger;
+        assert_eq!(tagger.tag_count(), NUM_TAGS);
+        let corpus = Corpus::from_sentences(vec![
+            Sentence::unlabelled("a", vec!["the".into(), "WT1".into()]),
+            Sentence::unlabelled("b", vec!["no".into()]),
+        ]);
+        let preds = tagger.predict_corpus(&corpus);
+        assert_eq!(preds, vec![vec![O, B], vec![O]]);
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let tagger = DigitTagger;
+        let by_ref: &dyn Tagger = &tagger;
+        let s = Sentence::unlabelled("s", vec!["IDH2".into()]);
+        assert_eq!(by_ref.predict(&s), vec![B]);
+        assert_eq!((&&tagger).posteriors(&s)[0][B.index()], 1.0);
+    }
+}

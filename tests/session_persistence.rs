@@ -1,0 +1,72 @@
+//! Cross-crate integration for the staged pipeline and the model
+//! persistence layer: a cached [`TestSession`] must reproduce the
+//! one-shot `GraphNer::test` exactly, and a saved model must reload
+//! into byte-identical predictions.
+
+use graphner::banner::NerConfig;
+use graphner::core::persist::{load_model, save_model};
+use graphner::core::timings::stage;
+use graphner::core::{GraphFeatureSet, GraphNer, GraphNerConfig, TestSession};
+use graphner::corpusgen::{generate, CorpusProfile};
+use graphner::crf::TrainConfig;
+use graphner::obs::with_capture;
+
+fn quick_cfg() -> NerConfig {
+    NerConfig {
+        train: TrainConfig { max_iterations: 80, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn session_sweep_matches_one_shot_runs_and_extracts_posteriors_once() {
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let test = corpus.test.without_tags();
+
+    // the Table III ablation rows, driven through one session
+    let rows = [
+        GraphNerConfig::default(),
+        GraphNerConfig { k: 5, ..GraphNerConfig::default() },
+        GraphNerConfig { feature_set: GraphFeatureSet::Lexical, ..GraphNerConfig::default() },
+        GraphNerConfig { alpha: 0.3, ..GraphNerConfig::default() },
+    ];
+    let mut session = TestSession::new(&model, &test);
+    let (staged, spans) =
+        with_capture(|| rows.iter().map(|cfg| session.run(cfg)).collect::<Vec<_>>());
+
+    // the acceptance criterion of the refactor: corpus posteriors are
+    // extracted once for the whole sweep, not once per row
+    let posterior_spans = spans.iter().filter(|s| s.name == stage::POSTERIORS).count();
+    assert_eq!(posterior_spans, 1, "posteriors must be cached across ablation rows");
+    // three distinct (feature set, K) pairs → three graph builds
+    let graph_spans = spans.iter().filter(|s| s.name == stage::GRAPH).count();
+    assert_eq!(graph_spans, 3);
+
+    // every cached row is byte-identical to a fresh uncached model run
+    for (cfg, out) in rows.iter().zip(&staged) {
+        let fresh = model.reconfigured(cfg.clone()).test(&test);
+        assert_eq!(out.predictions, fresh.predictions);
+        assert_eq!(out.base_predictions, fresh.base_predictions);
+        assert_eq!(out.stats.num_edges, fresh.stats.num_edges);
+    }
+}
+
+#[test]
+fn saved_model_reloads_to_identical_predictions() {
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let test = corpus.test.without_tags();
+    let before = model.test(&test);
+
+    let path = std::env::temp_dir().join("graphner-session-persistence.gner");
+    save_model(&model, &path).expect("save");
+    let loaded = load_model(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+
+    let after = loaded.test(&test);
+    assert_eq!(before.predictions, after.predictions);
+    assert_eq!(before.base_predictions, after.base_predictions);
+    assert_eq!(loaded.num_labelled_vertices(), model.num_labelled_vertices());
+    assert_eq!(loaded.transitions(), model.transitions());
+}
