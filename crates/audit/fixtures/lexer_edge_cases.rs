@@ -1,0 +1,45 @@
+//@ scan-as: crates/graph/src/fixture.rs
+//! Self-test fixture: adversarial lexing. Violations hide behind every
+//! construct that could fool a naive text search — the findings below
+//! must be exactly the marked ones, nothing more.
+
+/* block comment with a.unwrap() inside
+   /* nested block comment: panic!("no") */
+   still commented: println!("no") */
+fn after_comments(x: Option<u32>) -> u32 {
+    x.unwrap() //~ no-unwrap
+}
+
+fn strings_with_hashes() -> String {
+    let raw = r##"r-string with "quotes"# and b.unwrap() and 1.0 == 1.0"##;
+    let bytes = b"byte string with c.expect(\"x\")";
+    let ch = '"'; // a quote character, not a string opener
+    let lifetime_ok: &'static str = "lifetimes are not chars";
+    format!("{raw}{}{ch}{lifetime_ok}", bytes.len())
+}
+
+fn numbers(x: f64, n: u32) -> bool {
+    let range_is_int = (0..2).len() == 2; // `0..2` must not lex as floats
+    let method_on_int = 1.max(2) == 2; // `1.max` is not a float literal
+    let suffixed = x == 1f64; //~ no-float-eq
+    let exponent = 2.5e3 != x; //~ no-float-eq
+    range_is_int && method_on_int && suffixed && exponent && n == 0
+}
+
+#[cfg(test)]
+mod tests {
+    fn nested_braces_stay_excluded(x: Option<u32>) -> u32 {
+        if let Some(v) = x {
+            match v {
+                0 => panic!("fine in tests"),
+                _ => v,
+            }
+        } else {
+            x.unwrap()
+        }
+    }
+}
+
+fn after_the_test_mod(x: Option<u32>) -> u32 {
+    x.expect("region tracking must end at the test mod's closing brace") //~ no-unwrap
+}

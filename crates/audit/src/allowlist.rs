@@ -1,0 +1,193 @@
+//! The audit allowlist: justified exceptions to the rules.
+//!
+//! Lives at `audit-allowlist.txt` in the workspace root. One entry per
+//! line, four pipe-separated fields:
+//!
+//! ```text
+//! rule-id | workspace/relative/path.rs | line-substring | reason
+//! ```
+//!
+//! A finding is suppressed when an entry's rule and path match and the
+//! `line-substring` occurs verbatim in the offending source line — the
+//! substring anchor means entries survive line-number drift but go
+//! stale when the code they justify is removed. Stale entries (ones
+//! that matched nothing this run) are themselves reported as findings,
+//! so the allowlist can only shrink silently, never grow.
+
+use crate::rules::{Finding, Rule};
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: Rule,
+    pub path: String,
+    pub needle: String,
+    pub reason: String,
+    /// 1-based line in the allowlist file, for error reporting.
+    pub source_line: usize,
+}
+
+/// Problems with the allowlist file itself (reported as audit failures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllowlistIssue {
+    /// A line that is not `rule | path | needle | reason`.
+    Malformed { source_line: usize, text: String },
+    /// An unknown rule id.
+    UnknownRule { source_line: usize, rule: String },
+    /// An entry with an empty reason string — justifications are mandatory.
+    MissingReason { source_line: usize },
+    /// An entry that suppressed nothing this run.
+    Stale { entry: AllowEntry },
+}
+
+impl std::fmt::Display for AllowlistIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllowlistIssue::Malformed { source_line, text } => {
+                write!(f, "allowlist:{source_line}: malformed entry `{text}` (want `rule | path | line-substring | reason`)")
+            }
+            AllowlistIssue::UnknownRule { source_line, rule } => {
+                write!(f, "allowlist:{source_line}: unknown rule id `{rule}`")
+            }
+            AllowlistIssue::MissingReason { source_line } => {
+                write!(f, "allowlist:{source_line}: entry has an empty reason — every exception must be justified")
+            }
+            AllowlistIssue::Stale { entry } => {
+                write!(
+                    f,
+                    "allowlist:{}: stale entry [{}] {} `{}` matched no finding — remove it",
+                    entry.source_line,
+                    entry.rule.id(),
+                    entry.path,
+                    entry.needle
+                )
+            }
+        }
+    }
+}
+
+/// Parse the allowlist file contents. Blank lines and `#` comments are
+/// skipped. Returns entries plus any structural issues.
+pub fn parse(contents: &str) -> (Vec<AllowEntry>, Vec<AllowlistIssue>) {
+    let mut entries = Vec::new();
+    let mut issues = Vec::new();
+    for (idx, raw) in contents.lines().enumerate() {
+        let source_line = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if fields.len() != 4 {
+            issues.push(AllowlistIssue::Malformed { source_line, text: line.to_string() });
+            continue;
+        }
+        let Some(rule) = Rule::from_id(fields[0]) else {
+            issues.push(AllowlistIssue::UnknownRule { source_line, rule: fields[0].to_string() });
+            continue;
+        };
+        if fields[3].is_empty() {
+            issues.push(AllowlistIssue::MissingReason { source_line });
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule,
+            path: fields[1].to_string(),
+            needle: fields[2].to_string(),
+            reason: fields[3].to_string(),
+            source_line,
+        });
+    }
+    (entries, issues)
+}
+
+/// Split findings into (kept, suppressed) under the allowlist, and
+/// report stale entries. `line_of` fetches the source line text a
+/// finding points at, so needles can be matched against real code.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+    line_of: impl Fn(&Finding) -> Option<String>,
+) -> (Vec<Finding>, Vec<(Finding, &AllowEntry)>, Vec<AllowlistIssue>) {
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for f in findings {
+        let text = line_of(&f).unwrap_or_default();
+        let hit = entries
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.rule == f.rule && e.path == f.path && text.contains(&e.needle));
+        match hit {
+            Some((idx, entry)) => {
+                used[idx] = true;
+                suppressed.push((f, entry));
+            }
+            None => kept.push(f),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| AllowlistIssue::Stale { entry: e.clone() })
+        .collect();
+    (kept, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, line: usize) -> Finding {
+        Finding { rule, path: path.to_string(), line, what: "x".to_string() }
+    }
+
+    #[test]
+    fn parse_roundtrip_and_comments() {
+        let (entries, issues) = parse(
+            "# header\n\nno-unwrap | crates/a/src/b.rs | foo.unwrap() | contract: always set\n",
+        );
+        assert!(issues.is_empty());
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, Rule::NoUnwrap);
+        assert_eq!(entries[0].needle, "foo.unwrap()");
+        assert_eq!(entries[0].source_line, 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_unknown_and_reasonless() {
+        let (entries, issues) =
+            parse("just one field\nnot-a-rule | p | n | r\nno-unwrap | p | n |\n");
+        assert!(entries.is_empty());
+        assert_eq!(issues.len(), 3);
+        assert!(matches!(issues[0], AllowlistIssue::Malformed { source_line: 1, .. }));
+        assert!(matches!(issues[1], AllowlistIssue::UnknownRule { source_line: 2, .. }));
+        assert!(matches!(issues[2], AllowlistIssue::MissingReason { source_line: 3 }));
+    }
+
+    #[test]
+    fn apply_suppresses_matching_and_flags_stale() {
+        let (entries, _) = parse(
+            "no-unwrap | a.rs | x.unwrap() | fine\nno-unwrap | b.rs | gone() | was removed\n",
+        );
+        let findings = vec![finding(Rule::NoUnwrap, "a.rs", 7), finding(Rule::NoUnwrap, "c.rs", 2)];
+        let (kept, suppressed, stale) = apply(findings, &entries, |f| {
+            Some(if f.path == "a.rs" { "let y = x.unwrap();".into() } else { "other".into() })
+        });
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].path, "c.rs");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].1.needle, "x.unwrap()");
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn needle_must_match_line_text_not_just_path() {
+        let (entries, _) = parse("no-unwrap | a.rs | .expect( | contract\n");
+        let findings = vec![finding(Rule::NoUnwrap, "a.rs", 1)];
+        let (kept, suppressed, _) = apply(findings, &entries, |_| Some("x.unwrap()".into()));
+        assert_eq!(kept.len(), 1);
+        assert!(suppressed.is_empty());
+    }
+}

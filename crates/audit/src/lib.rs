@@ -1,0 +1,398 @@
+//! `graphner-audit` — the workspace invariant checker.
+//!
+//! A zero-dependency static-analysis pass with its own lightweight Rust
+//! lexer ([`lexer`]) that walks every workspace `src/` file and
+//! enforces project policy clippy cannot express ([`rules`]), with a
+//! reason-annotated escape hatch for the few justified exceptions
+//! ([`allowlist`]). It is the static counterpart of the runtime
+//! numeric guards in `graphner_core::check`: the audit proves the code
+//! *cannot* panic, print, time, or iterate nondeterministically where
+//! policy forbids it, while the guards prove the numbers flowing
+//! through the pipeline stay on the probability simplex.
+//!
+//! Run it as `cargo run --release --bin audit -- --workspace` (a
+//! required CI step), or `--self-test` to validate the lexer and rule
+//! engine against fixture files with known violations.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use allowlist::{AllowEntry, AllowlistIssue};
+use rules::{Finding, Rule, ALL_RULES};
+use std::path::{Path, PathBuf};
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "audit-allowlist.txt";
+
+/// Fixture header directive: pretend the file lives at this workspace
+/// path when deriving rule scopes (`//@ scan-as: crates/core/src/x.rs`).
+pub const SCAN_AS: &str = "//@ scan-as:";
+
+/// Marker comment declaring an expected finding on its line
+/// (`//~ rule-id`, repeatable on one line).
+pub const EXPECT_MARKER: &str = "//~";
+
+/// Outcome of one audit run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an allowlist entry (finding, entry index
+    /// into the parsed allowlist).
+    pub suppressed: Vec<(Finding, AllowEntry)>,
+    /// Structural or staleness problems with the allowlist itself.
+    pub allowlist_issues: Vec<AllowlistIssue>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run passes (no findings, clean allowlist).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.allowlist_issues.is_empty()
+    }
+
+    /// Count of surviving findings for `rule`.
+    pub fn count_for(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Publish the run to the global `graphner-obs` metrics registry:
+    /// `audit.findings` (total), `audit.rule.<id>` per rule,
+    /// `audit.files_scanned`, `audit.allowlisted`, and
+    /// `audit.allowlist_issues`.
+    pub fn publish_metrics(&self) {
+        graphner_obs::counter("audit.findings").add(self.findings.len() as u64);
+        for rule in ALL_RULES {
+            graphner_obs::counter(&format!("audit.rule.{}", rule.id()))
+                .add(self.count_for(rule) as u64);
+        }
+        graphner_obs::counter("audit.files_scanned").add(self.files_scanned as u64);
+        graphner_obs::counter("audit.allowlisted").add(self.suppressed.len() as u64);
+        graphner_obs::counter("audit.allowlist_issues").add(self.allowlist_issues.len() as u64);
+    }
+}
+
+/// Errors from walking or reading the tree.
+#[derive(Debug)]
+pub enum AuditError {
+    /// An I/O failure on `path`.
+    Io { path: PathBuf, source: std::io::Error },
+    /// A fixture file without the mandatory `//@ scan-as:` header.
+    MissingScanAs { path: PathBuf },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Io { path, source } => {
+                write!(f, "audit: io error on {}: {source}", path.display())
+            }
+            AuditError::MissingScanAs { path } => {
+                write!(f, "audit: fixture {} lacks a `{SCAN_AS} <path>` header", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Every `.rs` file under the workspace's source trees: the root
+/// package `src/` plus each `crates/*/src/`, recursively, in sorted
+/// order. Target and vendor trees are never entered.
+pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, AuditError> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = read_dir_sorted(&crates_dir)?
+            .into_iter()
+            .map(|entry| entry.join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        roots.append(&mut members);
+    }
+    for src in roots {
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, AuditError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|source| AuditError::Io { path: dir.to_path_buf(), source })?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| AuditError::Io { path: dir.to_path_buf(), source })?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AuditError> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn read_source(path: &Path) -> Result<String, AuditError> {
+    std::fs::read_to_string(path)
+        .map_err(|source| AuditError::Io { path: path.to_path_buf(), source })
+}
+
+/// The path of `file` relative to `root`, `/`-separated.
+fn relative(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scan one file. If its first line carries a `//@ scan-as:` header
+/// (fixtures), rules are scoped as if it lived at that path; findings
+/// still report the real relative path.
+pub fn scan_file(root: &Path, file: &Path) -> Result<(Vec<Finding>, String), AuditError> {
+    let source = read_source(file)?;
+    let rel = relative(root, file);
+    let scan_path = source
+        .lines()
+        .next()
+        .and_then(|l| l.trim().strip_prefix(SCAN_AS))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| rel.clone());
+    let mut findings = rules::check_file(&scan_path, &source);
+    for f in &mut findings {
+        f.path = rel.clone();
+    }
+    Ok((findings, source))
+}
+
+/// Run the audit over `files` (workspace-relative reporting against
+/// `root`), applying the allowlist at `root/audit-allowlist.txt` if
+/// present.
+pub fn run(root: &Path, files: &[PathBuf]) -> Result<Report, AuditError> {
+    let mut raw_findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for file in files {
+        let (findings, source) = scan_file(root, file)?;
+        sources.push((relative(root, file), source));
+        raw_findings.extend(findings);
+    }
+
+    let allowlist_path = root.join(ALLOWLIST_FILE);
+    let (entries, mut issues) = if allowlist_path.is_file() {
+        allowlist::parse(&read_source(&allowlist_path)?)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let line_of = |f: &Finding| {
+        sources
+            .iter()
+            .find(|(p, _)| *p == f.path)
+            .and_then(|(_, src)| src.lines().nth(f.line.saturating_sub(1)))
+            .map(str::to_string)
+    };
+    let (kept, suppressed, stale) = allowlist::apply(raw_findings, &entries, line_of);
+    issues.extend(stale);
+
+    Ok(Report {
+        findings: kept,
+        suppressed: suppressed.into_iter().map(|(f, e)| (f, e.clone())).collect(),
+        allowlist_issues: issues,
+        files_scanned: files.len(),
+    })
+}
+
+/// One fixture's self-test outcome.
+#[derive(Debug)]
+pub struct SelfTestFailure {
+    pub path: String,
+    /// Findings the rules produced but no marker expected.
+    pub unexpected: Vec<Finding>,
+    /// (rule, line) pairs a marker expected but the rules missed.
+    pub missing: Vec<(Rule, usize)>,
+}
+
+/// Run the rule engine over fixture files and compare against their
+/// inline `//~ rule-id` markers. Returns `(fixture count, total
+/// expected findings, failures)`; the self-test passes when `failures`
+/// is empty **and** at least one finding was expected — a fixture set
+/// that expects nothing proves nothing.
+pub fn self_test(
+    root: &Path,
+    fixtures: &[PathBuf],
+) -> Result<(usize, usize, Vec<SelfTestFailure>), AuditError> {
+    let mut failures = Vec::new();
+    let mut total_expected = 0usize;
+    for file in fixtures {
+        let (found, source) = scan_file(root, file)?;
+        if !source.trim_start().starts_with(SCAN_AS) {
+            return Err(AuditError::MissingScanAs { path: file.clone() });
+        }
+        let mut expected: Vec<(Rule, usize)> = Vec::new();
+        for (idx, line) in source.lines().enumerate() {
+            let mut rest = line;
+            while let Some(pos) = rest.find(EXPECT_MARKER) {
+                let after = &rest[pos + EXPECT_MARKER.len()..];
+                let id: String = after
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                    .collect();
+                if let Some(rule) = Rule::from_id(&id) {
+                    expected.push((rule, idx + 1));
+                }
+                rest = after;
+            }
+        }
+        total_expected += expected.len();
+
+        let mut got: Vec<(Rule, usize)> = found.iter().map(|f| (f.rule, f.line)).collect();
+        let mut missing = Vec::new();
+        for want in &expected {
+            match got.iter().position(|g| g == want) {
+                Some(i) => {
+                    got.remove(i);
+                }
+                None => missing.push(*want),
+            }
+        }
+        let unexpected: Vec<Finding> =
+            found.into_iter().filter(|f| got.contains(&(f.rule, f.line))).collect();
+        if !missing.is_empty() || !unexpected.is_empty() {
+            failures.push(SelfTestFailure { path: relative(root, file), unexpected, missing });
+        }
+    }
+    Ok((fixtures.len(), total_expected, failures))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, contents: &str) -> PathBuf {
+        let path = dir.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("graphner-audit-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn workspace_walk_finds_root_and_crate_sources_sorted() {
+        let root = temp_root("walk");
+        write(&root, "src/lib.rs", "fn a() {}");
+        write(&root, "crates/zz/src/lib.rs", "fn z() {}");
+        write(&root, "crates/aa/src/deep/x.rs", "fn x() {}");
+        write(&root, "crates/aa/src/lib.rs", "fn y() {}");
+        write(&root, "crates/aa/notes.md", "not rust");
+        let files = workspace_sources(&root).unwrap();
+        let rels: Vec<String> = files.iter().map(|f| relative(&root, f)).collect();
+        assert_eq!(
+            rels,
+            vec![
+                "crates/aa/src/deep/x.rs",
+                "crates/aa/src/lib.rs",
+                "crates/zz/src/lib.rs",
+                "src/lib.rs"
+            ]
+        );
+    }
+
+    #[test]
+    fn run_applies_allowlist_and_reports_relative_paths() {
+        let root = temp_root("run");
+        let f1 = write(&root, "crates/text/src/a.rs", "fn f() { x.unwrap(); }\n");
+        let f2 = write(&root, "crates/text/src/b.rs", "fn g() { y.unwrap(); }\n");
+        write(
+            &root,
+            ALLOWLIST_FILE,
+            "no-unwrap | crates/text/src/b.rs | y.unwrap() | documented contract\n",
+        );
+        let report = run(&root, &[f1, f2]).unwrap();
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].path, "crates/text/src/a.rs");
+        assert_eq!(report.suppressed.len(), 1);
+        assert!(report.allowlist_issues.is_empty());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn stale_allowlist_entry_fails_the_run() {
+        let root = temp_root("stale");
+        let f1 = write(&root, "crates/text/src/a.rs", "fn f() {}\n");
+        write(&root, ALLOWLIST_FILE, "no-unwrap | crates/text/src/a.rs | gone | obsolete\n");
+        let report = run(&root, &[f1]).unwrap();
+        assert!(report.findings.is_empty());
+        assert_eq!(report.allowlist_issues.len(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn scan_as_header_rescopes_fixture_rules() {
+        let root = temp_root("scanas");
+        // real path is under fixtures/ (bench-style exempt), but the
+        // header scopes it as library code in a result-bearing crate
+        let f = write(
+            &root,
+            "crates/audit/fixtures/v.rs",
+            "//@ scan-as: crates/core/src/fixture.rs\nfn f() { x.unwrap(); }\n",
+        );
+        let (findings, _) = scan_file(&root, &f).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "crates/audit/fixtures/v.rs");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn self_test_matches_markers_exactly() {
+        let root = temp_root("selftest");
+        let good = write(
+            &root,
+            "crates/audit/fixtures/good.rs",
+            "//@ scan-as: crates/core/src/f.rs\nfn f() { x.unwrap(); } //~ no-unwrap\n",
+        );
+        let (n, expected, failures) = self_test(&root, std::slice::from_ref(&good)).unwrap();
+        assert_eq!((n, expected), (1, 1));
+        assert!(failures.is_empty());
+
+        let bad = write(
+            &root,
+            "crates/audit/fixtures/bad.rs",
+            "//@ scan-as: crates/core/src/f.rs\nfn f() { x.unwrap(); }\nfn g() {} //~ no-print\n",
+        );
+        let (_, _, failures) = self_test(&root, &[bad]).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].unexpected.len(), 1); // the unmarked unwrap
+        assert_eq!(failures[0].missing, vec![(Rule::NoPrint, 3)]);
+    }
+
+    #[test]
+    fn self_test_requires_scan_as_header() {
+        let root = temp_root("noheader");
+        let f = write(&root, "crates/audit/fixtures/h.rs", "fn f() {}\n");
+        assert!(matches!(self_test(&root, &[f]), Err(AuditError::MissingScanAs { .. })));
+    }
+}

@@ -1,0 +1,489 @@
+//! The audit rules: token-pattern lints encoding GraphNER project
+//! policy that clippy cannot express.
+//!
+//! | id            | policy                                                          |
+//! |---------------|-----------------------------------------------------------------|
+//! | `no-unwrap`   | no `unwrap()` / `expect()` / `panic!` / `todo!` /               |
+//! |               | `unimplemented!` in library code outside `#[cfg(test)]`         |
+//! | `no-float-eq` | no bare `==` / `!=` against float literals in library code      |
+//! | `no-std-hash` | no `std::collections::HashMap`/`HashSet` in result-bearing      |
+//! |               | crates (core/crf/graph/eval) — `FxHashMap` with sorted          |
+//! |               | iteration or `BTreeMap` only, for determinism                   |
+//! | `no-instant`  | no `Instant` outside `graphner-obs` — wall-clock timing routes  |
+//! |               | through obs spans / `Stopwatch`                                 |
+//! | `no-print`    | no `println!`/`eprintln!`/`print!`/`eprint!` in library crates  |
+//! |               | — output routes through `graphner-obs`                          |
+//!
+//! Scope conventions (see [`FileScope`]): binary targets (`src/bin/`),
+//! integration tests, benches, and `#[cfg(test)]` regions are exempt
+//! from `no-unwrap`, `no-float-eq` and `no-print` — panicking on bad
+//! CLI arguments and exact float assertions in tests are idiomatic.
+//! `no-std-hash` applies to the *whole* file of result-bearing crates
+//! (tests too: a test comparing against nondeterministic iteration is
+//! itself flaky). `unreachable!` is deliberately not flagged: it marks
+//! statically-evident dead branches, the sanctioned alternative to
+//! `unwrap` for match arms an invariant rules out.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Identifier of one audit rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unwrap()` / `expect()` / `panic!` family in library code.
+    NoUnwrap,
+    /// Bare `==`/`!=` against a float literal in library code.
+    NoFloatEq,
+    /// `std::collections::{HashMap,HashSet}` in a result-bearing crate.
+    NoStdHash,
+    /// `Instant` outside `graphner-obs`.
+    NoInstant,
+    /// Direct `println!`/`eprintln!` family in library crates.
+    NoPrint,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 5] =
+    [Rule::NoUnwrap, Rule::NoFloatEq, Rule::NoStdHash, Rule::NoInstant, Rule::NoPrint];
+
+impl Rule {
+    /// The rule's stable string id (used in findings, the allowlist
+    /// file and metric names).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoFloatEq => "no-float-eq",
+            Rule::NoStdHash => "no-std-hash",
+            Rule::NoInstant => "no-instant",
+            Rule::NoPrint => "no-print",
+        }
+    }
+
+    /// Parse a rule id.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.id() == id)
+    }
+}
+
+/// One policy violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the match.
+    pub what: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.id(), self.what)
+    }
+}
+
+/// Where a file sits in the workspace, deciding which rules apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileScope {
+    /// Crate name as derived from the path (`core`, `graph`, `bench`,
+    /// …; the root `src/` scans as `graphner`).
+    pub crate_name: String,
+    /// Binary target (`src/bin/…`), integration test or bench file.
+    pub is_binary: bool,
+}
+
+/// Crates whose outputs are results (tables, figures, saved models):
+/// nondeterministic iteration there silently changes published numbers.
+pub const RESULT_BEARING_CRATES: [&str; 4] = ["core", "crf", "graph", "eval"];
+
+/// Crates exempt from `no-print`: `obs` implements the logger itself,
+/// `bench` and `corpusgen` binaries *are* the presentation layer
+/// (machine-readable tables on stdout), and `audit` reports findings.
+pub const PRINT_EXEMPT_CRATES: [&str; 3] = ["obs", "bench", "audit"];
+
+/// Crates allowed to touch `std::time::Instant` directly. Everything
+/// else times through `graphner-obs` spans or `Stopwatch`, so wall
+/// clocks have one owner.
+pub const INSTANT_EXEMPT_CRATES: [&str; 2] = ["obs", "audit"];
+
+/// Crates exempt from `no-unwrap`: the bench harness is CLI glue where
+/// panicking on malformed arguments is the correct behaviour, and the
+/// audit CLI reports its own errors.
+pub const UNWRAP_EXEMPT_CRATES: [&str; 2] = ["bench", "audit"];
+
+impl FileScope {
+    /// Derive the scope from a workspace-relative path such as
+    /// `crates/graph/src/knn.rs` or `src/lib.rs`.
+    pub fn from_path(path: &str) -> FileScope {
+        let norm = path.replace('\\', "/");
+        let parts: Vec<&str> = norm.split('/').collect();
+        let crate_name = match parts.first() {
+            Some(&"crates") if parts.len() > 1 => parts[1].to_string(),
+            _ => "graphner".to_string(),
+        };
+        let is_binary = parts.windows(2).any(|w| w == ["src", "bin"])
+            || parts.contains(&"benches")
+            || parts.contains(&"tests")
+            || parts.contains(&"examples")
+            || parts.contains(&"fixtures");
+        FileScope { crate_name, is_binary }
+    }
+
+    fn library_rules_apply(&self, exempt: &[&str]) -> bool {
+        !self.is_binary && !exempt.contains(&self.crate_name.as_str())
+    }
+}
+
+/// Half-open token index ranges covered by `#[cfg(test)]`.
+///
+/// Matches the attribute token sequence `# [ cfg ( test ) ]` (also
+/// `#![cfg(test)]`), then skips any further attributes and marks the
+/// body of the annotated item — everything inside its outermost brace
+/// pair — as excluded. Items ending in `;` without a body exclude
+/// through the semicolon.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // move past `# [ cfg ( test ) ]` (7 tokens, 8 with inner `!`)
+            let mut j = i + 7;
+            if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                j += 1;
+            }
+            // skip any further attributes on the same item
+            while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = skip_attribute(tokens, j);
+            }
+            // find the item's body: first `{` before any `;`
+            let mut k = j;
+            let mut body = None;
+            while let Some(t) = tokens.get(k) {
+                if t.is_punct('{') {
+                    body = Some(k);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+                k += 1;
+            }
+            let end = match body {
+                Some(open) => matching_brace(tokens, open),
+                None => k,
+            };
+            regions.push((i, end));
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Whether `tokens[i..]` starts the attribute `#[cfg(test)]` or
+/// `#![cfg(test)]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    if !tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+        return false;
+    }
+    j += 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    tokens.get(j).is_some_and(|t| t.is_punct('['))
+        && tokens.get(j + 1).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(j + 2).is_some_and(|t| t.is_punct('('))
+        && tokens.get(j + 3).is_some_and(|t| t.is_ident("test"))
+        && tokens.get(j + 4).is_some_and(|t| t.is_punct(')'))
+        && tokens.get(j + 5).is_some_and(|t| t.is_punct(']'))
+}
+
+/// Index just past an attribute starting at the `#` at `i`.
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return j;
+    }
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Run every applicable rule over one file's source.
+pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
+    let scope = FileScope::from_path(path);
+    let tokens = crate::lexer::tokenize(source);
+    let regions = test_regions(&tokens);
+    let in_test = |i: usize| regions.iter().any(|&(lo, hi)| i >= lo && i <= hi);
+    let mut findings = Vec::new();
+
+    let finding = |rule: Rule, line: usize, what: String| Finding {
+        rule,
+        path: path.to_string(),
+        line,
+        what,
+    };
+
+    let unwrap_applies = scope.library_rules_apply(&UNWRAP_EXEMPT_CRATES);
+    let float_applies = !scope.is_binary;
+    let print_applies = scope.library_rules_apply(&PRINT_EXEMPT_CRATES);
+    let instant_applies = !INSTANT_EXEMPT_CRATES.contains(&scope.crate_name.as_str());
+    let hash_applies = RESULT_BEARING_CRATES.contains(&scope.crate_name.as_str());
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let test_code = in_test(i);
+
+        // no-unwrap: `.unwrap(` / `.expect(` and `panic!` family
+        if unwrap_applies && !test_code {
+            if let Some(name) = tok.ident() {
+                let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+                let next_paren = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+                let next_bang = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+                if prev_dot && next_paren && (name == "unwrap" || name == "expect") {
+                    findings.push(finding(Rule::NoUnwrap, tok.line, format!(".{name}()")));
+                }
+                if next_bang && matches!(name, "panic" | "todo" | "unimplemented") {
+                    findings.push(finding(Rule::NoUnwrap, tok.line, format!("{name}!")));
+                }
+            }
+        }
+
+        // no-float-eq: `==` / `!=` adjacent to a float literal
+        if float_applies && !test_code && (tok.is_op("==") || tok.is_op("!=")) {
+            let float_next = matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Float));
+            let float_prev = i > 0 && tokens[i - 1].kind == TokenKind::Float;
+            if float_next || float_prev {
+                let op = if tok.is_op("==") { "==" } else { "!=" };
+                findings.push(finding(
+                    Rule::NoFloatEq,
+                    tok.line,
+                    format!("bare float `{op}` comparison"),
+                ));
+            }
+        }
+
+        // no-std-hash: std::collections::{HashMap,HashSet}
+        if hash_applies
+            && tok.is_ident("std")
+            && tokens.get(i + 1).is_some_and(|t| t.is_op("::"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("collections"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_op("::"))
+        {
+            match tokens.get(i + 4) {
+                Some(t) if t.is_ident("HashMap") || t.is_ident("HashSet") => {
+                    findings.push(finding(
+                        Rule::NoStdHash,
+                        t.line,
+                        format!("std::collections::{}", t.ident().unwrap_or("?")),
+                    ));
+                }
+                Some(t) if t.is_punct('{') => {
+                    let end = matching_brace(&tokens, i + 4);
+                    for t in &tokens[i + 4..=end.min(tokens.len() - 1)] {
+                        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                            findings.push(finding(
+                                Rule::NoStdHash,
+                                t.line,
+                                format!("std::collections::{}", t.ident().unwrap_or("?")),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // no-instant: any `Instant` mention outside obs
+        if instant_applies && tok.is_ident("Instant") {
+            findings.push(finding(
+                Rule::NoInstant,
+                tok.line,
+                "Instant outside graphner-obs".to_string(),
+            ));
+        }
+
+        // no-print: direct stdout/stderr macros in library code
+        if print_applies && !test_code {
+            if let Some(name) = tok.ident() {
+                if matches!(name, "println" | "eprintln" | "print" | "eprint")
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                {
+                    findings.push(finding(Rule::NoPrint, tok.line, format!("{name}!")));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(path: &str, src: &str) -> Vec<(Rule, usize)> {
+        check_file(path, src).into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn unwrap_expect_panic_found_in_library_code() {
+        let src = "fn f() {\n a.unwrap();\n b.expect(\"x\");\n panic!(\"y\");\n todo!();\n}";
+        let found = rules_at("crates/text/src/a.rs", src);
+        assert_eq!(
+            found,
+            vec![
+                (Rule::NoUnwrap, 2),
+                (Rule::NoUnwrap, 3),
+                (Rule::NoUnwrap, 4),
+                (Rule::NoUnwrap, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_is_ignored() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { a.unwrap(); }\n}";
+        assert!(rules_at("crates/text/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_cfg_test_region_is_found() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }\nfn g() { b.unwrap(); }";
+        assert_eq!(rules_at("crates/text/src/a.rs", src), vec![(Rule::NoUnwrap, 3)]);
+    }
+
+    #[test]
+    fn unwrap_in_strings_comments_and_similar_names_ignored() {
+        let src = "fn f() {\n // a.unwrap()\n let s = \"b.unwrap()\";\n c.unwrap_or(0);\n}";
+        assert!(rules_at("crates/text/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unreachable_is_permitted() {
+        let src = "fn f() { match x { _ => unreachable!(\"invariant\") } }";
+        assert!(rules_at("crates/text/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bins_and_bench_are_unwrap_exempt() {
+        let src = "fn main() { args.next().unwrap(); }";
+        assert!(rules_at("crates/core/src/bin/tool.rs", src).is_empty());
+        assert!(rules_at("crates/bench/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_is_found_on_either_side() {
+        let src = "fn f(x: f64) -> bool { x == 1.0 || 0.0 != x || x == 1e-6 }";
+        let found = rules_at("crates/text/src/a.rs", src);
+        assert_eq!(found, vec![(Rule::NoFloatEq, 1); 3]);
+    }
+
+    #[test]
+    fn integer_eq_is_fine() {
+        let src = "fn f(x: u32) -> bool { x == 1 && x != 0 }";
+        assert!(rules_at("crates/text/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_in_tests_is_fine() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { assert!(x == 1.0); } }";
+        assert!(rules_at("crates/text/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_hash_flagged_only_in_result_bearing_crates() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: std::collections::HashSet<u32>; }";
+        let found = rules_at("crates/graph/src/a.rs", src);
+        assert_eq!(found, vec![(Rule::NoStdHash, 1), (Rule::NoStdHash, 2)]);
+        assert!(rules_at("crates/corpusgen/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_hash_brace_imports_and_btreemap() {
+        let src = "use std::collections::{BTreeMap, HashMap};";
+        let found = rules_at("crates/eval/src/a.rs", src);
+        assert_eq!(found, vec![(Rule::NoStdHash, 1)]);
+        assert!(rules_at("crates/eval/src/a.rs", "use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn std_hash_applies_even_in_tests() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n fn t() { let s: std::collections::HashSet<u32>; }\n}";
+        assert_eq!(rules_at("crates/core/src/a.rs", src), vec![(Rule::NoStdHash, 3)]);
+    }
+
+    #[test]
+    fn instant_flagged_outside_obs() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let found = rules_at("crates/core/src/a.rs", src);
+        assert_eq!(found, vec![(Rule::NoInstant, 1), (Rule::NoInstant, 2)]);
+        assert!(rules_at("crates/obs/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_flagged_in_library_but_not_bench_or_bins() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }";
+        let found = rules_at("crates/graph/src/a.rs", src);
+        assert_eq!(found, vec![(Rule::NoPrint, 1), (Rule::NoPrint, 1)]);
+        assert!(rules_at("crates/bench/src/harness.rs", src).is_empty());
+        assert!(rules_at("crates/bench/src/bin/table1.rs", src).is_empty());
+        assert!(rules_at("crates/obs/src/logger.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scope_derivation() {
+        let s = FileScope::from_path("crates/graph/src/knn.rs");
+        assert_eq!(s.crate_name, "graph");
+        assert!(!s.is_binary);
+        assert!(FileScope::from_path("crates/bench/src/bin/t.rs").is_binary);
+        assert!(FileScope::from_path("crates/obs/tests/rayon_spans.rs").is_binary);
+        assert_eq!(FileScope::from_path("src/lib.rs").crate_name, "graphner");
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_stay_excluded() {
+        let src = "#[cfg(test)]\nmod tests {\n fn a() { if x { y.unwrap(); } }\n fn b() { z.unwrap(); }\n}\nfn c() { w.unwrap(); }";
+        assert_eq!(rules_at("crates/text/src/a.rs", src), vec![(Rule::NoUnwrap, 6)]);
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { x.unwrap(); }\nfn real() { y.unwrap(); }";
+        assert_eq!(rules_at("crates/text/src/a.rs", src), vec![(Rule::NoUnwrap, 4)]);
+    }
+}

@@ -5,11 +5,12 @@
 //! (per the chosen [`GraphFeatureSet`]) to the vertex's PMI vector; the
 //! graph keeps the K nearest neighbours by cosine.
 
+use crate::check;
 use crate::config::GraphFeatureSet;
 use graphner_banner::{extract_features, FeatureSet, NerModel};
 use graphner_graph::{knn_inverted_index, KnnGraph, VertexFeatureCounts};
 use graphner_obs::{obs_debug, obs_summary, span};
-use graphner_text::{Sentence, TrigramInterner, Vocab};
+use graphner_text::{exactly_zero, Sentence, TrigramInterner, Vocab};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Mutual information between a binary feature's presence and the tag
@@ -39,7 +40,7 @@ pub fn feature_tag_mi(model: &NerModel, sentences: &[&Sentence]) -> FxHashMap<St
             total += 1.0;
         }
     }
-    if total == 0.0 {
+    if exactly_zero(total) {
         return FxHashMap::default();
     }
 
@@ -50,7 +51,7 @@ pub fn feature_tag_mi(model: &NerModel, sentences: &[&Sentence]) -> FxHashMap<St
         let mut m = 0.0;
         for t in 0..3 {
             let pt = n_t[t] / total;
-            if pt == 0.0 {
+            if exactly_zero(pt) {
                 continue;
             }
             let p1t = n_ft.get(&(f.clone(), t)).copied().unwrap_or(0.0) / total;
@@ -126,7 +127,9 @@ pub fn build_vertex_vectors(
     }
     graphner_obs::counter("graph.features").add(feature_vocab.len() as u64);
     let _s = span("graph.pmi");
-    counts.pmi_vectors(interner.len())
+    let vectors = counts.pmi_vectors(interner.len());
+    check::assert_finite_sparse("PMI vertex vectors (GraphStage)", &vectors);
+    vectors
 }
 
 /// Connect precomputed PMI vectors into the K-nearest-neighbour graph.
@@ -135,6 +138,7 @@ pub fn knn_from_vectors(vectors: &[graphner_graph::SparseVec], k: usize) -> KnnG
         let _s = span("graph.knn");
         knn_inverted_index(vectors, k)
     };
+    check::assert_edge_weights_symmetric("k-NN graph (GraphStage)", &graph);
     graphner_obs::counter("graph.vertices").add(graph.num_vertices() as u64);
     obs_summary!(
         "graph build: {} vertices, {} edges (k = {k})",

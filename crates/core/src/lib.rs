@@ -26,6 +26,7 @@
 // obscure the index relationships between the buffers.
 #![allow(clippy::needless_range_loop)]
 
+pub mod check;
 pub mod config;
 pub mod graphbuild;
 pub mod model;

@@ -22,10 +22,10 @@ use crate::timings::TestTimings;
 use graphner_banner::{DistributionalResources, NerConfig, NerModel};
 use graphner_crf::TrainReport;
 use graphner_graph::LabelDist;
+use graphner_obs::Stopwatch;
 use graphner_text::{BioTag, Corpus, TrigramInterner, NUM_TAGS};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A trained GraphNER model: the base CRF tagger plus the reference
 /// distributions over labelled 3-grams.
@@ -92,6 +92,7 @@ pub(crate) fn empirical_transitions(
             out[y][yp] = (cond / prior).powf(tau).min(cap);
         }
     }
+    crate::check::assert_finite_matrix("empirical transitions", &out);
     out
 }
 
@@ -138,13 +139,13 @@ impl GraphNer {
         dist: Option<DistributionalResources>,
         cfg: GraphNerConfig,
     ) -> (GraphNer, TrainOutput) {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let (base, report) = NerModel::train(train, base_cfg, dist);
-        let crf_seconds = t0.elapsed().as_secs_f64();
+        let crf_seconds = t0.elapsed_seconds();
 
         // Line 3: X_ref(v) = average gold label distribution of every
         // 3-gram v occurring in D_l.
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let mut interner = TrigramInterner::new();
         let mut sums: FxHashMap<u32, ([f64; NUM_TAGS], f64)> = FxHashMap::default();
         for sentence in &train.sentences {
@@ -156,7 +157,7 @@ impl GraphNer {
                 entry.1 += 1.0;
             }
         }
-        let x_ref = sums
+        let x_ref: FxHashMap<u32, LabelDist> = sums
             .into_iter()
             .map(|(v, (counts, n))| {
                 let mut d = [0.0; NUM_TAGS];
@@ -166,7 +167,12 @@ impl GraphNer {
                 (v, d)
             })
             .collect();
-        let ref_seconds = t1.elapsed().as_secs_f64();
+        if cfg!(debug_assertions) {
+            for d in x_ref.values() {
+                crate::check::assert_distribution("X_ref (train)", d);
+            }
+        }
+        let ref_seconds = t1.elapsed_seconds();
 
         let transitions =
             empirical_transitions(train, cfg.trans_add_k, cfg.trans_power, cfg.trans_ratio_cap);

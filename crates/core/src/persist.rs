@@ -317,10 +317,9 @@ fn get_corpus<R: Read>(r: &mut R) -> Result<Corpus, PersistError> {
                 let mut tags = Vec::with_capacity(num_tokens);
                 for _ in 0..num_tokens {
                     let idx = get_u8(r)? as usize;
-                    if idx >= NUM_TAGS {
-                        return Err(bad(format!("invalid BIO tag index {idx}")));
-                    }
-                    tags.push(BioTag::from_index(idx));
+                    let tag = BioTag::try_from_index(idx)
+                        .ok_or_else(|| bad(format!("invalid BIO tag index {idx}")))?;
+                    tags.push(tag);
                 }
                 Sentence::labelled(id, tokens, tags)
             }
@@ -376,6 +375,11 @@ pub fn read_model<R: Read>(r: &mut R) -> Result<GraphNer, PersistError> {
         }
     }
     let x_ref = get_x_ref(r)?;
+    if cfg!(debug_assertions) {
+        for d in x_ref.values() {
+            crate::check::assert_distribution("X_ref (loaded model)", d);
+        }
+    }
     let interner = get_interner(r)?;
     let base = get_base(r)?;
     let train_corpus = Arc::new(get_corpus(r)?);

@@ -28,6 +28,7 @@
 //! a stage actually computes, so the per-row [`TestTimings`] reflect
 //! real work: a cached stage contributes zero seconds.
 
+use crate::check;
 use crate::config::{GraphFeatureSet, GraphNerConfig};
 use crate::graphbuild::{build_vertex_vectors, knn_from_vectors};
 use crate::model::{empirical_transitions, GraphNer, TestOutput};
@@ -78,6 +79,11 @@ impl PosteriorStage {
         let sentences = all_sentences(model, test);
         let per_sentence: Vec<Vec<LabelDist>> =
             sentences.par_iter().map(|s| model.base.posteriors(s)).collect();
+        if cfg!(debug_assertions) {
+            for rows in &per_sentence {
+                check::assert_distributions("CRF posteriors (PosteriorStage)", rows);
+            }
+        }
         CorpusPosteriors { per_sentence, num_train: model.train_corpus.len() }
     }
 }
@@ -122,8 +128,10 @@ impl AverageStage {
         let mut occ = vec![0.0f64; n];
         for (sentence, post) in all_sentences(model, test).iter().zip(&posteriors.per_sentence) {
             for i in 0..sentence.len() {
-                let v = interner.lookup_at(sentence, i).expect("all corpus trigrams are interned")
-                    as usize;
+                let Some(v) = interner.lookup_at(sentence, i) else {
+                    unreachable!("GraphStage interns every corpus trigram before averaging")
+                };
+                let v = v as usize;
                 for (xy, py) in x[v].iter_mut().zip(&post[i]) {
                     *xy += py;
                 }
@@ -139,6 +147,7 @@ impl AverageStage {
                 *xv = UNIFORM;
             }
         }
+        check::assert_distributions("averaged vertex beliefs (AverageStage)", &x);
         x
     }
 }
@@ -154,7 +163,9 @@ impl PropagateStage {
         x_ref: &[Option<LabelDist>],
         cfg: &GraphNerConfig,
     ) -> graphner_graph::PropagationReport {
-        propagate(graph, x, x_ref, &cfg.propagation)
+        let report = propagate(graph, x, x_ref, &cfg.propagation);
+        check::assert_distributions("propagated vertex beliefs (PropagateStage)", x);
+        report
     }
 }
 
@@ -219,6 +230,7 @@ fn combine_and_decode(
         return Vec::new();
     }
     let combined = combined_beliefs(sentence, post, interner, x, alpha);
+    check::assert_distributions("interpolated beliefs (DecodeStage)", &combined);
     viterbi_tags(&combined, transitions)
 }
 
@@ -300,7 +312,9 @@ impl<'a> TestSession<'a> {
     fn ensure_averaged(&mut self) {
         if self.averaged.is_none() {
             let _s = span(stage::AVERAGE);
-            let posteriors = self.posteriors.as_ref().expect("posteriors before averaging");
+            let Some(posteriors) = self.posteriors.as_ref() else {
+                unreachable!("callers run ensure_posteriors before ensure_averaged")
+            };
             self.averaged =
                 Some(AverageStage::run(self.model, self.test, posteriors, &self.interner));
         }
@@ -324,12 +338,15 @@ impl<'a> TestSession<'a> {
             self.ensure_x_ref_slice();
 
             let graph = &self.graphs[&(cfg.feature_set.cache_key(), cfg.k)];
-            let x_ref_slice = self.x_ref_slice.as_ref().expect("ensured above");
-            let posteriors = self.posteriors.as_ref().expect("ensured above");
+            let (Some(x_ref_slice), Some(posteriors), Some(averaged)) =
+                (self.x_ref_slice.as_ref(), self.posteriors.as_ref(), self.averaged.as_ref())
+            else {
+                unreachable!("the ensure_* calls above populate the session cache")
+            };
 
             // propagation mutates the beliefs, so each run works on a
             // copy of the cached averages
-            let mut x = self.averaged.clone().expect("ensured above");
+            let mut x = averaged.clone();
             let report = {
                 let _s = span(stage::PROPAGATE);
                 PropagateStage::run(graph, &mut x, x_ref_slice, cfg)
@@ -396,8 +413,13 @@ impl<'a> TestSession<'a> {
         self.ensure_averaged();
         self.ensure_x_ref_slice();
         let graph = &self.graphs[&(cfg.feature_set.cache_key(), cfg.k)];
-        let mut x = self.averaged.clone().expect("ensured above");
-        PropagateStage::run(graph, &mut x, self.x_ref_slice.as_ref().expect("ensured above"), cfg);
+        let (Some(averaged), Some(x_ref_slice)) =
+            (self.averaged.as_ref(), self.x_ref_slice.as_ref())
+        else {
+            unreachable!("the ensure_* calls above populate the session cache")
+        };
+        let mut x = averaged.clone();
+        PropagateStage::run(graph, &mut x, x_ref_slice, cfg);
         GraphTagger {
             base: self.model.base.clone(),
             interner: self.interner.clone(),
@@ -558,10 +580,7 @@ mod tests {
         for (sentence, expect) in test.sentences.iter().zip(&out.predictions) {
             assert_eq!(&tagger.predict(sentence), expect);
             // combined beliefs are distributions
-            for row in tagger.posteriors(sentence) {
-                let sum: f64 = row.iter().sum();
-                assert!((sum - 1.0).abs() < 1e-6, "row sums to {sum}");
-            }
+            check::assert_distributions("tagger posteriors", &tagger.posteriors(sentence));
         }
         // inductive fallback: a sentence with unseen trigrams still tags
         let novel = Sentence::unlabelled("n0", tokenize("completely unrelated words here"));

@@ -13,10 +13,10 @@
 //!   8.5 %) that the paper credits for GraphNER's precision behaviour.
 
 use crate::lexicon::{GeneLexicon, NomenclatureStyle};
+use crate::pick;
 use graphner_text::bc2::{AnnotationSet, Bc2Annotation};
 use graphner_text::sentence::{mentions_to_tags, Mention};
 use graphner_text::{Corpus, Sentence};
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -273,9 +273,9 @@ impl<'a> Generator<'a> {
     /// Generate one sentence: tokens plus *true* gene mentions.
     fn sentence(&mut self, category: Category) -> (Vec<String>, Vec<Mention>) {
         let template = match category {
-            Category::Gene => GENE_TEMPLATES.choose(&mut self.rng).unwrap(),
-            Category::Ambiguous => AMBIGUOUS_TEMPLATES.choose(&mut self.rng).unwrap(),
-            Category::NonGene => NONGENE_TEMPLATES.choose(&mut self.rng).unwrap(),
+            Category::Gene => pick(&mut self.rng, &GENE_TEMPLATES),
+            Category::Ambiguous => pick(&mut self.rng, &AMBIGUOUS_TEMPLATES),
+            Category::NonGene => pick(&mut self.rng, &NONGENE_TEMPLATES),
         };
         let mut tokens: Vec<String> = Vec::new();
         let mut mentions = Vec::new();
@@ -325,7 +325,7 @@ impl<'a> Generator<'a> {
                         } else {
                             &self.lexicon.domains
                         };
-                        let f = pool.choose(&mut self.rng).unwrap();
+                        let f = pick(&mut self.rng, pool);
                         tokens.extend(f.iter().cloned());
                     } else {
                         let sp = self.spurious_tokens();
@@ -336,9 +336,9 @@ impl<'a> Generator<'a> {
                     let sp = self.spurious_tokens();
                     tokens.extend(sp);
                 }
-                "{d}" => tokens.push(DISEASES.choose(&mut self.rng).unwrap().to_string()),
-                "{v}" => tokens.push(VERBS.choose(&mut self.rng).unwrap().to_string()),
-                "{a}" => tokens.push(ADJS.choose(&mut self.rng).unwrap().to_string()),
+                "{d}" => tokens.push(pick(&mut self.rng, &DISEASES).to_string()),
+                "{v}" => tokens.push(pick(&mut self.rng, &VERBS).to_string()),
+                "{a}" => tokens.push(pick(&mut self.rng, &ADJS).to_string()),
                 "{n}" => tokens.push(self.rng.gen_range(1..=9u32).to_string()),
                 literal => tokens.push(literal.to_string()),
             }
@@ -347,7 +347,7 @@ impl<'a> Generator<'a> {
         // inserted before the final period
         if self.rng.gen::<f64>() < 0.45 {
             let pre: Vec<String> =
-                FILLER_PRE.choose(&mut self.rng).unwrap().split(' ').map(str::to_string).collect();
+                pick(&mut self.rng, &FILLER_PRE).split(' ').map(str::to_string).collect();
             let shift = pre.len();
             for m in mentions.iter_mut() {
                 *m = Mention::new(m.start + shift, m.end + shift);
@@ -357,10 +357,11 @@ impl<'a> Generator<'a> {
             tokens = with_pre;
         }
         if self.rng.gen::<f64>() < 0.45 && tokens.last().map(String::as_str) == Some(".") {
-            let post = FILLER_POST.choose(&mut self.rng).unwrap().split(' ');
-            let dot = tokens.pop().unwrap();
-            tokens.extend(post.map(str::to_string));
-            tokens.push(dot);
+            let post = pick(&mut self.rng, &FILLER_POST).split(' ');
+            if let Some(dot) = tokens.pop() {
+                tokens.extend(post.map(str::to_string));
+                tokens.push(dot);
+            }
         }
         (tokens, mentions)
     }

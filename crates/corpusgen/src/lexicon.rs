@@ -16,6 +16,7 @@
 //! * *spurious entities* ("Ann Arbor") — capitalized non-gene phrases
 //!   that an imperfect tagger confuses with genes.
 
+use crate::pick;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -172,8 +173,8 @@ impl GeneLexicon {
         let mut multiword = Vec::with_capacity(num_multiword);
         let mut used_pairs = FxHashSet::default();
         while multiword.len() < num_multiword {
-            let surname = *SURNAMES.choose(rng).unwrap();
-            let noun = *GENE_NOUNS.choose(rng).unwrap();
+            let surname = *pick(rng, &SURNAMES);
+            let noun = *pick(rng, &GENE_NOUNS);
             let num = rng.gen_range(1..=9u32);
             if !used_pairs.insert((surname, noun, num)) {
                 continue;
@@ -189,12 +190,7 @@ impl GeneLexicon {
                 vec![surname.to_string(), noun.to_string()],
             ];
             variants.dedup();
-            let symbol = format!(
-                "{}{}{}",
-                surname.chars().next().unwrap().to_uppercase(),
-                noun.chars().next().unwrap().to_uppercase(),
-                num
-            );
+            let symbol = format!("{}{}{}", initial(surname), initial(noun), num);
             multiword.push(MultiwordGene { primary, variants, symbol });
         }
 
@@ -295,7 +291,7 @@ fn random_symbol(rng: &mut ChaCha8Rng) -> String {
         s.push(LETTERS[rng.gen_range(0..LETTERS.len())] as char);
     }
     for _ in 0..n_digits {
-        s.push(char::from_digit(rng.gen_range(0..10), 10).unwrap());
+        s.push(char::from(b'0' + rng.gen_range(0..10u8)));
     }
     s
 }
@@ -323,6 +319,11 @@ fn random_lowercase_gene(rng: &mut ChaCha8Rng) -> String {
 /// the disambiguation signal graph propagation aggregates.
 fn random_site_code(rng: &mut ChaCha8Rng) -> String {
     random_symbol(rng)
+}
+
+/// Uppercased first letter of a lexicon word (empty for empty input).
+fn initial(s: &str) -> String {
+    s.chars().next().map(|c| c.to_uppercase().to_string()).unwrap_or_default()
 }
 
 fn variant_noun(noun: &str) -> String {

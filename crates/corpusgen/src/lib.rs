@@ -12,5 +12,12 @@
 pub mod generator;
 pub mod lexicon;
 
+/// Uniform draw from a non-empty slice. Same index stream as
+/// `SliceRandom::choose` (one `gen_range(0..len)` call), but without
+/// the `Option` that forced `unwrap()` at every call site.
+pub(crate) fn pick<'a, T, R: rand::Rng>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
 pub use generator::{generate, generate_unlabelled, CorpusProfile, GeneratedCorpus};
 pub use lexicon::{GeneLexicon, MultiwordGene, NomenclatureStyle};

@@ -204,8 +204,8 @@ impl ChainCrf {
             }
         }
         let mut cur = (0..s)
-            .max_by(|&a, &b| delta[(l - 1) * s + a].partial_cmp(&delta[(l - 1) * s + b]).unwrap())
-            .unwrap();
+            .max_by(|&a, &b| delta[(l - 1) * s + a].total_cmp(&delta[(l - 1) * s + b]))
+            .unwrap_or(0);
         let mut states = vec![0usize; l];
         states[l - 1] = cur;
         for i in (1..l).rev() {
@@ -263,9 +263,8 @@ pub fn viterbi_tags(
             back[i][y] = arg;
         }
     }
-    let mut cur = (0..NUM_TAGS)
-        .max_by(|&a, &b| delta[l - 1][a].partial_cmp(&delta[l - 1][b]).unwrap())
-        .unwrap();
+    let mut cur =
+        (0..NUM_TAGS).max_by(|&a, &b| delta[l - 1][a].total_cmp(&delta[l - 1][b])).unwrap_or(0);
     let mut tags = vec![BioTag::O; l];
     tags[l - 1] = BioTag::from_index(cur);
     for i in (1..l).rev() {

@@ -9,6 +9,7 @@
 use crate::lbfgs::{self, LbfgsConfig, StopReason};
 use crate::model::{ChainCrf, SentenceFeatures};
 use graphner_obs::obs_summary;
+use graphner_text::exactly_zero;
 use rayon::prelude::*;
 
 /// Training configuration.
@@ -106,7 +107,9 @@ impl ChainCrf {
         for i in 0..l {
             for st in 0..s {
                 let gamma = lat.gamma(i, st);
-                if gamma == 0.0 {
+                // skip-zero optimization: must be exact, an epsilon
+                // would silently drop small but real gradient terms
+                if exactly_zero(gamma) {
                     continue;
                 }
                 for &f in &sent.obs[i] {
@@ -120,7 +123,7 @@ impl ChainCrf {
         for i in 1..l {
             for p in 0..s {
                 let ap = lat.alpha[(i - 1) * s + p];
-                if ap == 0.0 {
+                if exactly_zero(ap) {
                     continue;
                 }
                 for &c in self.space().next_states(p) {

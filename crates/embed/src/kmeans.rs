@@ -49,15 +49,17 @@ fn sq_dist(a: &[f32], b: &[f64]) -> f64 {
 
 /// Cluster the embedding vectors into `k` groups.
 pub fn kmeans(emb: &Embeddings, cfg: &KMeansConfig) -> WordClusters {
-    let mut words: Vec<u32> = emb.vectors.keys().copied().collect();
-    words.sort_unstable();
-    let n = words.len();
+    let mut pairs: Vec<(u32, &[f32])> =
+        emb.vectors.iter().map(|(w, v)| (*w, v.as_slice())).collect();
+    pairs.sort_unstable_by_key(|&(w, _)| w);
+    let n = pairs.len();
     if n == 0 {
         return WordClusters::default();
     }
     let k = cfg.k.min(n);
     let dim = emb.dim;
-    let data: Vec<&[f32]> = words.iter().map(|w| emb.get(*w).unwrap()).collect();
+    let words: Vec<u32> = pairs.iter().map(|&(w, _)| w).collect();
+    let data: Vec<&[f32]> = pairs.iter().map(|&(_, v)| v).collect();
 
     // k-means++ seeding.
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -95,10 +97,8 @@ pub fn kmeans(emb: &Embeddings, cfg: &KMeansConfig) -> WordClusters {
         let mut changed = false;
         for (i, v) in data.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    sq_dist(v, &centroids[a]).partial_cmp(&sq_dist(v, &centroids[b])).unwrap()
-                })
-                .unwrap() as u32;
+                .min_by(|&a, &b| sq_dist(v, &centroids[a]).total_cmp(&sq_dist(v, &centroids[b])))
+                .unwrap_or(0) as u32;
             if assign[i] != best {
                 assign[i] = best;
                 changed = true;

@@ -11,6 +11,7 @@
 //! embeddings are bit-reproducible.
 
 use graphner_obs::obs_debug;
+use graphner_text::{approx_eq, exactly_zero};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rustc_hash::FxHashMap;
@@ -75,7 +76,7 @@ impl Embeddings {
         let dot: f64 = va.iter().zip(vb).map(|(x, y)| *x as f64 * *y as f64).sum();
         let na: f64 = va.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
         let nb: f64 = vb.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
-        if na == 0.0 || nb == 0.0 {
+        if exactly_zero(na) || exactly_zero(nb) {
             return None;
         }
         Some(dot / (na * nb))
@@ -182,7 +183,8 @@ pub fn train_sgns(sentences: &[Vec<u32>], cfg: &SgnsConfig) -> Embeddings {
                             v.iter().zip(u.iter()).map(|(a, b)| *a as f64 * *b as f64).sum();
                         let p = sigmoid(dot);
                         // −log σ(u·v) for positives, −log σ(−u·v) for noise
-                        epoch_loss -= if label == 1.0 { p } else { 1.0 - p }.max(1e-12).ln();
+                        epoch_loss -=
+                            if approx_eq(label, 1.0) { p } else { 1.0 - p }.max(1e-12).ln();
                         epoch_pairs += 1;
                         let g = ((label - p) * lr) as f32;
                         for d in 0..cfg.dim {

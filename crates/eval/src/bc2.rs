@@ -14,7 +14,7 @@
 
 use graphner_text::bc2::{AnnotationSet, Bc2Annotation};
 use graphner_text::sentence::tags_to_mentions;
-use graphner_text::{Corpus, Tagger};
+use graphner_text::{is_zero, Corpus, Tagger};
 use rustc_hash::FxHashMap;
 
 /// Aggregate counts of an evaluation run.
@@ -61,7 +61,7 @@ impl Counts {
     pub fn f_score(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
+        if is_zero(p + r) {
             0.0
         } else {
             2.0 * p * r / (p + r)

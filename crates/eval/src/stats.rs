@@ -6,6 +6,8 @@
 //! chi-square test of proportions for the corpus-annotation-error
 //! comparison.
 
+use graphner_text::{approx_eq, is_zero};
+
 /// Complementary error function, Abramowitz & Stegun 7.1.26 (max error
 /// 1.5e-7) extended to the full real line by symmetry.
 pub fn erfc(x: f64) -> f64 {
@@ -55,7 +57,7 @@ pub fn prop_test(x1: usize, n1: usize, x2: usize, n2: usize) -> ProportionTest {
     let p1 = x1f / n1f;
     let p2 = x2f / n2f;
     let p_pool = (x1f + x2f) / (n1f + n2f);
-    if p_pool == 0.0 || p_pool == 1.0 {
+    if is_zero(p_pool) || approx_eq(p_pool, 1.0) {
         return ProportionTest { statistic: 0.0, p_value: 1.0, p1, p2 };
     }
     // Yates correction, capped so the statistic cannot go negative.

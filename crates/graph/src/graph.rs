@@ -119,6 +119,31 @@ impl KnnGraph {
         roots.len()
     }
 
+    /// The undirected closure: every edge `u → v` gains the reverse
+    /// edge `v → u` with the same weight, and duplicate directions of a
+    /// mutual edge collapse to one entry per direction. Cosine
+    /// similarity is symmetric, so the two directions of a mutual edge
+    /// already carry equal weights and the closure is well defined.
+    /// Out-degrees can exceed `k` afterwards (a hub vertex is "nearest"
+    /// to many others); [`KnnGraph::k`] still reports the construction
+    /// `k`. Adjacency lists come out sorted by neighbour id, so the
+    /// result is deterministic regardless of this graph's edge order.
+    pub fn symmetrized(&self) -> KnnGraph {
+        let n = self.num_vertices();
+        let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        for u in 0..n as u32 {
+            for (v, w) in self.neighbors(u) {
+                adj[u as usize].push((v, w));
+                adj[v as usize].push((u, w));
+            }
+        }
+        for list in adj.iter_mut() {
+            list.sort_unstable_by_key(|&(nb, _)| nb);
+            list.dedup_by_key(|&mut (nb, _)| nb);
+        }
+        KnnGraph::from_adjacency(adj, self.k)
+    }
+
     /// Size of the largest weakly connected component.
     pub fn largest_component_size(&self) -> usize {
         let n = self.num_vertices();
@@ -233,6 +258,26 @@ mod tests {
         assert_eq!(h.counts, vec![2, 3]);
         let h = histogram(&[], 3);
         assert_eq!(h.counts, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn symmetrized_adds_reverse_edges_once() {
+        let g = cyclic().symmetrized();
+        // 4 directed edges, none mutual → 8 after closure
+        assert_eq!(g.num_edges(), 8);
+        for v in 0..g.num_vertices() as u32 {
+            for (nb, w) in g.neighbors(v) {
+                let back = g.neighbors(nb).find(|&(b, _)| b == v);
+                assert_eq!(back, Some((v, w)), "edge {v} → {nb} lacks its reverse");
+            }
+        }
+        // already-symmetric graphs are a fixed point
+        let h = g.symmetrized();
+        assert_eq!(h.num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(g.neighbors(v).collect::<Vec<_>>(), h.neighbors(v).collect::<Vec<_>>());
+        }
+        assert_eq!(g.k(), 1);
     }
 
     #[test]

@@ -21,14 +21,14 @@
 use crate::graph::KnnGraph;
 use crate::sparse::SparseVec;
 use graphner_obs::obs_summary;
+use graphner_text::exactly_zero_f32;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Select the `k` best `(id, score)` candidates, descending by score,
 /// ties broken by ascending id.
 fn top_k(mut candidates: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
-    let by_quality =
-        |a: &(u32, f32), b: &(u32, f32)| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0));
+    let by_quality = |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
     if candidates.len() > k {
         candidates.select_nth_unstable_by(k - 1, by_quality);
         candidates.truncate(k);
@@ -109,7 +109,10 @@ pub fn knn_inverted_index(vectors: &[SparseVec], k: usize) -> KnnGraph {
             |(scores, touched), i| {
                 for &(f, val) in vectors[i].entries() {
                     for &(j, w) in &postings[f as usize] {
-                        if scores[j as usize] == 0.0 {
+                        // untouched-slot sentinel: must be an exact
+                        // bit test, an epsilon would mistake small
+                        // accumulated scores for untouched slots
+                        if exactly_zero_f32(scores[j as usize]) {
                             touched.push(j);
                         }
                         scores[j as usize] += val * w;

@@ -103,6 +103,30 @@ fn sweep(
 /// decoder consumes.
 pub const CONVERGENCE_TOL: f64 = 1e-6;
 
+/// Debug-build check that every row of a belief table lies on the
+/// probability simplex. Equation (2) renormalizes analytically — the
+/// numerator terms sum to exactly the denominator when the inputs are
+/// distributions — so each sweep must preserve the simplex to rounding
+/// noise; drifting beyond `1e-9` means the update itself is wrong, not
+/// the arithmetic. This crate sits below `graphner-core`, so it cannot
+/// use `graphner_core::check`; the guard is local but follows the same
+/// contract: a no-op in release builds.
+#[inline]
+fn debug_assert_simplex(ctx: &str, x: &[LabelDist]) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    for (i, row) in x.iter().enumerate() {
+        let mut sum = 0.0;
+        for &p in row {
+            debug_assert!(p.is_finite(), "{ctx}: row {i} has non-finite entry {p}");
+            debug_assert!(p >= -1e-12, "{ctx}: row {i} has negative entry {p}");
+            sum += p;
+        }
+        debug_assert!((sum - 1.0).abs() <= 1e-9, "{ctx}: row {i} sums to {sum}");
+    }
+}
+
 /// Convergence diagnostics of one [`propagate`] call.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PropagationReport {
@@ -136,12 +160,14 @@ pub fn propagate(
         // budget on a non-empty graph proves nothing
         return PropagationReport { iterations: 0, final_residual: 0.0, converged: n == 0 };
     }
+    debug_assert_simplex("propagate: initial beliefs", x);
     let weight_sums: Vec<f64> = (0..n as u32).map(|v| graph.weight_sum(v)).collect();
     let x0: Vec<LabelDist> = x.clone();
     let mut buf = vec![[0.0; NUM_TAGS]; n];
     let mut residual = 0.0;
     for iter in 0..params.iterations {
         sweep(graph, x, &x0, x_ref, &weight_sums, params, &mut buf);
+        debug_assert_simplex("propagate: sweep output", &buf);
         residual = x
             .par_iter()
             .zip(buf.par_iter())

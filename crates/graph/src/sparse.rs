@@ -4,6 +4,8 @@
 //! space. They are stored as id-sorted `(u32, f32)` pairs so that dot
 //! products are a single linear merge with no hashing in the inner loop.
 
+use graphner_text::{exactly_zero, exactly_zero_f32};
+
 /// A sparse vector: strictly id-sorted `(feature id, value)` pairs.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SparseVec {
@@ -22,7 +24,7 @@ impl SparseVec {
                 _ => entries.push((id, v)),
             }
         }
-        entries.retain(|&(_, v)| v != 0.0);
+        entries.retain(|&(_, v)| !exactly_zero_f32(v));
         SparseVec { entries }
     }
 
@@ -85,7 +87,7 @@ impl SparseVec {
     pub fn cosine(&self, other: &SparseVec) -> f64 {
         let na = self.norm();
         let nb = other.norm();
-        if na == 0.0 || nb == 0.0 {
+        if exactly_zero(na) || exactly_zero(nb) {
             return 0.0;
         }
         self.dot(other) / (na * nb)

@@ -184,7 +184,7 @@ impl CrfLayer {
             }
         }
         let mut cur =
-            (0..Y).max_by(|&a, &b| delta[l - 1][a].partial_cmp(&delta[l - 1][b]).unwrap()).unwrap();
+            (0..Y).max_by(|&a, &b| delta[l - 1][a].total_cmp(&delta[l - 1][b])).unwrap_or(0);
         let mut path = vec![0usize; l];
         path[l - 1] = cur;
         for t in (1..l).rev() {

@@ -7,6 +7,7 @@
 //! baselines use hidden sizes ≈ 100) and exact gradients make the
 //! finite-difference tests meaningful.
 
+use graphner_text::exactly_zero;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -162,7 +163,9 @@ impl LstmCell {
             let x = &trace.xs[t];
             let mut dh_prev = vec![0.0; d_h];
             for (row, &dzr) in dz.iter().enumerate() {
-                if dzr == 0.0 {
+                // skip-zero optimization: exact test, an epsilon would
+                // drop small but real gradient contributions
+                if exactly_zero(dzr) {
                     continue;
                 }
                 let wrow = row * self.d_in;

@@ -12,7 +12,7 @@
 use crate::crf_layer::CrfLayer;
 use crate::lstm::BiLstm;
 use graphner_text::sentence::tags_to_mentions;
-use graphner_text::{BioTag, Corpus, Sentence, Tagger, Vocab, NUM_TAGS};
+use graphner_text::{exactly_zero, is_zero, BioTag, Corpus, Sentence, Tagger, Vocab, NUM_TAGS};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -346,7 +346,7 @@ fn step(
     for t in 0..f.ctx.len() {
         for y in 0..NUM_TAGS {
             let d = dem[t][y];
-            if d == 0.0 {
+            if exactly_zero(d) {
                 continue;
             }
             gbout[y] += d;
@@ -445,7 +445,7 @@ fn mention_f(tagger: &LstmCrfTagger, crf: &CrfLayer, corpus: &Corpus) -> f64 {
     }
     let p = if n_pred == 0 { 0.0 } else { tp as f64 / n_pred as f64 };
     let r = if n_gold == 0 { 0.0 } else { tp as f64 / n_gold as f64 };
-    if p + r == 0.0 {
+    if is_zero(p + r) {
         0.0
     } else {
         2.0 * p * r / (p + r)

@@ -28,4 +28,13 @@ pub mod span;
 
 pub use logger::{level, set_level, Level};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry};
-pub use span::{span, with_capture, SpanGuard, SpanRecord};
+pub use span::{span, with_capture, SpanGuard, SpanRecord, Stopwatch};
+
+/// Lock a mutex, recovering the data if a panicking thread poisoned
+/// it. Every mutex in this crate guards plain bookkeeping state
+/// (metric maps, span buffers) that remains valid after a panic
+/// elsewhere, so observability keeps working during unwinding instead
+/// of turning one panic into a cascade.
+pub(crate) fn acquire<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -136,7 +136,7 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        let mut data = self.data.lock().unwrap();
+        let mut data = crate::acquire(&self.data);
         match bucket_index(value) {
             Some(i) => data.buckets[i] += n,
             None if value > FIRST_EDGE => data.overflow += n,
@@ -152,23 +152,23 @@ impl Histogram {
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
-        self.data.lock().unwrap().count
+        crate::acquire(&self.data).count
     }
 
     /// Sum of recorded (finite) observations.
     pub fn sum(&self) -> f64 {
-        self.data.lock().unwrap().sum
+        crate::acquire(&self.data).sum
     }
 
     /// Smallest recorded value, or `None` if empty.
     pub fn min(&self) -> Option<f64> {
-        let data = self.data.lock().unwrap();
+        let data = crate::acquire(&self.data);
         data.min.is_finite().then_some(data.min)
     }
 
     /// Largest recorded value, or `None` if empty.
     pub fn max(&self) -> Option<f64> {
-        let data = self.data.lock().unwrap();
+        let data = crate::acquire(&self.data);
         data.max.is_finite().then_some(data.max)
     }
 
@@ -179,7 +179,7 @@ impl Histogram {
     /// `[min, max]`, so the relative error is bounded by the bucket
     /// width (one eighth of a decade, ~15% from midpoint to edge).
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        let data = self.data.lock().unwrap();
+        let data = crate::acquire(&self.data);
         if data.count == 0 {
             return None;
         }
@@ -240,17 +240,17 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        Arc::clone(self.counters.lock().unwrap().entry(name.to_string()).or_default())
+        Arc::clone(crate::acquire(&self.counters).entry(name.to_string()).or_default())
     }
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        Arc::clone(self.gauges.lock().unwrap().entry(name.to_string()).or_default())
+        Arc::clone(crate::acquire(&self.gauges).entry(name.to_string()).or_default())
     }
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        Arc::clone(self.histograms.lock().unwrap().entry(name.to_string()).or_default())
+        Arc::clone(crate::acquire(&self.histograms).entry(name.to_string()).or_default())
     }
 
     /// One JSONL line per metric, sorted by (type, name):
@@ -262,21 +262,21 @@ impl Registry {
     /// ```
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
-        for (name, c) in self.counters.lock().unwrap().iter() {
+        for (name, c) in crate::acquire(&self.counters).iter() {
             out.push_str(&format!(
                 "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
                 json_string(name),
                 c.get(),
             ));
         }
-        for (name, g) in self.gauges.lock().unwrap().iter() {
+        for (name, g) in crate::acquire(&self.gauges).iter() {
             out.push_str(&format!(
                 "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
                 json_string(name),
                 json_number(g.get()),
             ));
         }
-        for (name, h) in self.histograms.lock().unwrap().iter() {
+        for (name, h) in crate::acquire(&self.histograms).iter() {
             out.push_str(&format!(
                 "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}\n",
                 json_string(name),

@@ -70,6 +70,28 @@ impl SpanRecord {
     }
 }
 
+/// A plain wall-clock timer for call sites that want a duration as a
+/// value (e.g. timing fields in result structs) rather than a recorded
+/// span. This is the only sanctioned way to read the wall clock
+/// outside this crate: the workspace audit forbids `Instant` anywhere
+/// else, so all timing flows through `graphner-obs`.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
 /// RAII guard created by [`span`]; records on drop.
 pub struct SpanGuard {
     name: &'static str,
@@ -101,7 +123,7 @@ impl Drop for SpanGuard {
             exit_seq: SEQ.fetch_add(1, Ordering::Relaxed),
             seconds,
         };
-        let mut registry = REGISTRY.lock().unwrap();
+        let mut registry = crate::acquire(&REGISTRY);
         if registry.len() < REGISTRY_CAP {
             registry.push(record);
         }
@@ -119,9 +141,7 @@ pub fn with_capture<R>(f: impl FnOnce() -> R) -> (R, Vec<SpanRecord>) {
     let first_seq = SEQ.load(Ordering::Relaxed);
     let result = f();
     let last_seq = SEQ.load(Ordering::Relaxed);
-    let mut captured: Vec<SpanRecord> = REGISTRY
-        .lock()
-        .unwrap()
+    let mut captured: Vec<SpanRecord> = crate::acquire(&REGISTRY)
         .iter()
         .filter(|r| r.thread == thread && r.enter_seq >= first_seq && r.exit_seq <= last_seq)
         .cloned()
@@ -133,7 +153,7 @@ pub fn with_capture<R>(f: impl FnOnce() -> R) -> (R, Vec<SpanRecord>) {
 /// Remove and return every record in the registry (all threads).
 /// Chiefly for tools that export spans at end of run.
 pub fn drain() -> Vec<SpanRecord> {
-    std::mem::take(&mut *REGISTRY.lock().unwrap())
+    std::mem::take(&mut *crate::acquire(&REGISTRY))
 }
 
 #[cfg(test)]

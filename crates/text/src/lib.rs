@@ -13,6 +13,7 @@
 //! `{B, I, O}` (a single entity type, *gene*), and the graph component
 //! operates on 3-grams of tokens.
 
+pub mod approx;
 pub mod bc2;
 pub mod corpus;
 pub mod ngram;
@@ -24,6 +25,7 @@ pub mod tagger;
 pub mod tokenize;
 pub mod vocab;
 
+pub use approx::{approx_eq, approx_eq_tol, exactly_zero, exactly_zero_f32, is_zero};
 pub use bc2::{AnnotationSet, Bc2Annotation};
 pub use corpus::{Corpus, Split};
 pub use ngram::{Trigram, TrigramInterner, BOUNDARY_LEFT, BOUNDARY_RIGHT};

@@ -39,11 +39,21 @@ impl BioTag {
     /// Panics if `idx >= NUM_TAGS`.
     #[inline]
     pub fn from_index(idx: usize) -> BioTag {
+        match BioTag::try_from_index(idx) {
+            Some(tag) => tag,
+            None => panic!("invalid BIO tag index {idx}"),
+        }
+    }
+
+    /// Fallible inverse of [`BioTag::index`], for callers handling
+    /// untrusted indices (e.g. model files read from disk).
+    #[inline]
+    pub fn try_from_index(idx: usize) -> Option<BioTag> {
         match idx {
-            0 => BioTag::B,
-            1 => BioTag::I,
-            2 => BioTag::O,
-            _ => panic!("invalid BIO tag index {idx}"),
+            0 => Some(BioTag::B),
+            1 => Some(BioTag::I),
+            2 => Some(BioTag::O),
+            _ => None,
         }
     }
 

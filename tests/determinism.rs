@@ -1,0 +1,68 @@
+//! Determinism regression: the transductive TEST procedure must be a
+//! pure function of (trained model, test corpus, configuration).
+//!
+//! The model is trained **once** — L-BFGS training parallelizes its
+//! gradient reduction, so run-to-run weight bits are not guaranteed —
+//! and then tested repeatedly. Everything downstream of training
+//! (posterior extraction, PMI vectors, k-NN construction, propagation,
+//! decoding, statistics) iterates in deterministic order, so two fresh
+//! sessions over the same model must agree byte-for-byte on every
+//! output except wall-clock timings.
+
+use graphner::banner::NerConfig;
+use graphner::core::{GraphNer, GraphNerConfig, TestOutput, TestSession};
+use graphner::corpusgen::{generate, CorpusProfile};
+use graphner::crf::TrainConfig;
+
+fn quick_cfg() -> NerConfig {
+    NerConfig {
+        train: TrainConfig { max_iterations: 60, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Canonical byte rendering of a [`TestOutput`], excluding the timing
+/// fields (wall clock is the one legitimately nondeterministic part).
+fn canonical(out: &TestOutput) -> String {
+    format!(
+        "predictions={:?}\nbase_predictions={:?}\nstats={:?}\niterations={}\nconverged={}\n",
+        out.predictions, out.base_predictions, out.stats, out.propagation_iterations, out.converged
+    )
+}
+
+#[test]
+fn two_fresh_sessions_produce_byte_identical_output() {
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let unlabelled = corpus.test.without_tags();
+
+    let out_a = TestSession::new(&model, &unlabelled).run(model.config());
+    let out_b = TestSession::new(&model, &unlabelled).run(model.config());
+    assert_eq!(canonical(&out_a), canonical(&out_b));
+
+    // a session reusing its cached artifacts must agree with a fresh one
+    let mut session = TestSession::new(&model, &unlabelled);
+    let first = session.run(model.config());
+    let cached = session.run(model.config());
+    assert_eq!(canonical(&first), canonical(&out_a));
+    assert_eq!(canonical(&cached), canonical(&out_a));
+}
+
+#[test]
+fn ablation_sweep_rows_are_reproducible() {
+    let corpus = generate(&CorpusProfile::aml().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let unlabelled = corpus.test.without_tags();
+    let variants = [
+        GraphNerConfig { k: 5, ..GraphNerConfig::default() },
+        GraphNerConfig { alpha: 0.5, ..GraphNerConfig::default() },
+    ];
+    // the same row computed through a shared session (cached posteriors
+    // and vectors) and through an isolated session must be identical
+    let mut shared = TestSession::new(&model, &unlabelled);
+    for cfg in &variants {
+        let via_shared = shared.run(cfg);
+        let via_fresh = TestSession::new(&model, &unlabelled).run(cfg);
+        assert_eq!(canonical(&via_shared), canonical(&via_fresh));
+    }
+}

@@ -1,7 +1,8 @@
 //! Cross-crate property-based tests on the core invariants.
 
+use graphner::core::check;
 use graphner::crf::{viterbi_tags, ChainCrf, Order, SentenceFeatures};
-use graphner::graph::{propagate, KnnGraph, PropagationParams, SparseVec};
+use graphner::graph::{knn_inverted_index, propagate, KnnGraph, PropagationParams, SparseVec};
 use graphner::text::sentence::{mentions_to_tags, tags_to_mentions};
 use graphner::text::{tokenize, BioTag, Mention, Sentence};
 use proptest::prelude::*;
@@ -68,11 +69,63 @@ proptest! {
         crf.set_params(params);
         let obs = (0..len).map(|i| vec![(i % 6) as u32]).collect();
         let sent = SentenceFeatures { obs, gold: None };
-        for row in crf.posteriors(&sent) {
-            let s: f64 = row.iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-9);
+        let post = crf.posteriors(&sent);
+        // the same guard the pipeline's PosteriorStage runs in debug
+        // builds; panics (failing the test) on any violation
+        check::assert_distributions("forward-backward posteriors", &post);
+        for row in post {
             prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
         }
+    }
+
+    #[test]
+    fn forward_backward_survives_extreme_weights(
+        seed in 1u64..300,
+        len in 1usize..10,
+        scale in 1.0f64..30.0,
+    ) {
+        // weights far outside the trained range must still produce
+        // guard-clean posteriors (log-space forward-backward)
+        let mut crf = ChainCrf::new(Order::One, 4);
+        let mut state = seed;
+        let params: Vec<f64> = (0..crf.num_params()).map(|_| {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            (((state % 2000) as f64 / 1000.0) - 1.0) * scale
+        }).collect();
+        crf.set_params(params);
+        let obs = (0..len).map(|i| vec![(i % 4) as u32, ((i + 1) % 4) as u32]).collect();
+        let sent = SentenceFeatures { obs, gold: None };
+        check::assert_distributions(
+            "forward-backward posteriors (extreme weights)",
+            &crf.posteriors(&sent),
+        );
+    }
+
+    #[test]
+    fn symmetrized_knn_passes_symmetry_guard(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u32..30, 0.01f32..10.0), 1..8),
+            2..15,
+        ),
+        k in 1usize..5,
+    ) {
+        let vectors: Vec<SparseVec> = specs
+            .into_iter()
+            .map(|pairs| {
+                let mut v = SparseVec::from_pairs(pairs);
+                v.normalize();
+                v
+            })
+            .collect();
+        let g = knn_inverted_index(&vectors, k);
+        // the raw graph is directed, but mutual edges must agree on
+        // their cosine weight…
+        check::assert_edge_weights_symmetric("raw k-NN", &g);
+        // …and the undirected closure must be fully symmetric
+        let s = g.symmetrized();
+        check::assert_symmetric_knn("symmetrized k-NN", &s);
+        prop_assert!(s.num_edges() >= g.num_edges());
+        prop_assert_eq!(s.num_vertices(), g.num_vertices());
     }
 
     #[test]
