@@ -99,8 +99,10 @@ impl std::fmt::Display for AuditError {
 impl std::error::Error for AuditError {}
 
 /// Every `.rs` file under the workspace's source trees: the root
-/// package `src/` plus each `crates/*/src/`, recursively, in sorted
-/// order. Target and vendor trees are never entered.
+/// package `src/` plus each `crates/*/src/`, plus the vendored
+/// `vendor/rayon/src/` worker pool (real concurrency code deserves the
+/// strictest policy), recursively, in sorted order. The target tree
+/// and the remaining vendor stubs are never entered.
 pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, AuditError> {
     let mut files = Vec::new();
     let mut roots = vec![root.join("src")];
@@ -112,6 +114,10 @@ pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, AuditError> {
             .filter(|p| p.is_dir())
             .collect();
         roots.append(&mut members);
+    }
+    let rayon_src = root.join("vendor").join("rayon").join("src");
+    if rayon_src.is_dir() {
+        roots.push(rayon_src);
     }
     for src in roots {
         if src.is_dir() {

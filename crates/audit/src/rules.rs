@@ -87,7 +87,8 @@ impl std::fmt::Display for Finding {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FileScope {
     /// Crate name as derived from the path (`core`, `graph`, `bench`,
-    /// …; the root `src/` scans as `graphner`).
+    /// …; `vendor/rayon/src/` scans as `rayon`; the root `src/` scans
+    /// as `graphner`).
     pub crate_name: String,
     /// Binary target (`src/bin/…`), integration test or bench file.
     pub is_binary: bool,
@@ -120,6 +121,7 @@ impl FileScope {
         let parts: Vec<&str> = norm.split('/').collect();
         let crate_name = match parts.first() {
             Some(&"crates") if parts.len() > 1 => parts[1].to_string(),
+            Some(&"vendor") if parts.len() > 1 => parts[1].to_string(),
             _ => "graphner".to_string(),
         };
         let is_binary = parts.windows(2).any(|w| w == ["src", "bin"])
@@ -473,6 +475,9 @@ mod tests {
         assert!(FileScope::from_path("crates/bench/src/bin/t.rs").is_binary);
         assert!(FileScope::from_path("crates/obs/tests/rayon_spans.rs").is_binary);
         assert_eq!(FileScope::from_path("src/lib.rs").crate_name, "graphner");
+        let v = FileScope::from_path("vendor/rayon/src/pool.rs");
+        assert_eq!(v.crate_name, "rayon");
+        assert!(!v.is_binary);
     }
 
     #[test]

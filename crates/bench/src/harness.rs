@@ -92,11 +92,32 @@ impl RunOptions {
     }
 }
 
+/// Snapshot the worker pool's counters into the global metric registry:
+/// `rayon.pool.threads` (gauge), `rayon.pool.jobs`, `rayon.pool.chunks`,
+/// `rayon.pool.chunks_on_workers`, and one `rayon.pool.idle_wait.*`
+/// counter per histogram bucket.
+pub fn publish_pool_metrics() {
+    let stats = rayon::pool_stats();
+    graphner_obs::gauge("rayon.pool.threads").set(stats.threads as f64);
+    graphner_obs::counter("rayon.pool.jobs").add(stats.jobs_submitted);
+    graphner_obs::counter("rayon.pool.chunks").add(stats.chunks_executed);
+    graphner_obs::counter("rayon.pool.chunks_on_workers").add(stats.chunks_on_workers);
+    for (i, &count) in stats.idle_waits.iter().enumerate() {
+        let name = match rayon::IDLE_BUCKET_EDGES_US.get(i) {
+            Some(edge) => format!("rayon.pool.idle_wait.le_{edge}us"),
+            None => "rayon.pool.idle_wait.inf".to_string(),
+        };
+        graphner_obs::counter(&name).add(count);
+    }
+}
+
 /// End-of-run observability flush, called last by every experiment
-/// binary: writes the accumulated global metrics as JSONL when
-/// `--metrics-out <path>` was given.
+/// binary: publishes the worker-pool counters and writes the
+/// accumulated global metrics as JSONL when `--metrics-out <path>` was
+/// given.
 pub fn finish(opts: &RunOptions) {
     if let Some(path) = &opts.metrics_out {
+        publish_pool_metrics();
         let jsonl = graphner_obs::Registry::global().export_jsonl();
         std::fs::write(path, jsonl).expect("write --metrics-out file");
         obs_summary!("metrics written to {path}");

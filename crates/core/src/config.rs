@@ -38,7 +38,18 @@ impl GraphFeatureSet {
 /// Full GraphNER configuration: the interpolation weight α, the
 /// propagation hyper-parameters (μ, ν, #iterations), the graph degree
 /// K, and the vertex representation.
-#[derive(Clone, Debug)]
+///
+/// Construct through [`GraphNerConfig::builder`], which validates the
+/// values and returns a typed [`ConfigError`] on nonsense (K = 0, a
+/// non-simplex α, zero propagation iterations, …), or through
+/// [`GraphNerConfig::default`] / [`GraphNerConfig::table_iv`] for the
+/// paper's settings. The fields remain public for ablation sweeps over
+/// an already-valid base (`GraphNerConfig { k: 5, ..base }`), but
+/// building a config from a bare struct literal is deprecated: it
+/// skips validation, and invalid values surface later as debug-mode
+/// guard panics deep inside the pipeline instead of an error at the
+/// API boundary.
+#[derive(Clone, Debug, PartialEq)]
 pub struct GraphNerConfig {
     /// Interpolation weight on the CRF posterior in
     /// `α·P_s(S,i) + (1−α)·X(w₋₁,w,w₊₁)`. "Smaller α values were
@@ -86,7 +97,186 @@ impl Default for GraphNerConfig {
     }
 }
 
+/// A rejected [`GraphNerConfigBuilder::build`]: which knob was invalid
+/// and why. Every variant is a configuration that *parses* but cannot
+/// mean anything — the builder refuses it up front rather than letting
+/// it surface as a guard panic or a silently degenerate result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `k = 0`: a graph with no neighbours has no edges to propagate
+    /// over.
+    ZeroK,
+    /// α outside `[0, 1]`: the interpolation
+    /// `α·P_s + (1−α)·X` is a convex combination, so its weights
+    /// `(α, 1−α)` must lie on the simplex.
+    AlphaNotSimplex(f64),
+    /// Zero propagation iterations: the graph would never be consulted.
+    ZeroIterations,
+    /// μ or ν is negative, NaN or infinite.
+    BadPropagationWeight {
+        /// `"mu"` or `"nu"`.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `self_anchor` outside `[0, 1]` (it weights a convex combination
+    /// of a vertex's own belief and its neighbourhood).
+    SelfAnchorNotSimplex(f64),
+    /// A decode-transition constant (`trans_power`, `trans_add_k`,
+    /// `trans_ratio_cap`) is negative, NaN or infinite — or the cap is
+    /// zero, which would erase every transition factor.
+    BadTransitionConstant {
+        /// Which constant.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroK => write!(f, "k must be >= 1 (a 0-NN graph has no edges)"),
+            ConfigError::AlphaNotSimplex(a) => {
+                write!(f, "alpha must lie in [0, 1] for a convex interpolation, got {a}")
+            }
+            ConfigError::ZeroIterations => {
+                write!(f, "propagation must run at least one iteration")
+            }
+            ConfigError::BadPropagationWeight { name, value } => {
+                write!(f, "{name} must be finite and non-negative, got {value}")
+            }
+            ConfigError::SelfAnchorNotSimplex(v) => {
+                write!(f, "self_anchor must lie in [0, 1], got {v}")
+            }
+            ConfigError::BadTransitionConstant { name, value } => {
+                write!(f, "{name} must be finite, non-negative and usable, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`GraphNerConfig`], starting from the
+/// Table IV defaults. Setters overwrite one knob each;
+/// [`build`](GraphNerConfigBuilder::build) checks the combination and
+/// returns a typed [`ConfigError`] instead of letting an invalid
+/// configuration flow into the pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct GraphNerConfigBuilder {
+    cfg: GraphNerConfig,
+}
+
+impl GraphNerConfigBuilder {
+    /// Interpolation weight α on the CRF posterior.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.cfg.alpha = alpha;
+        self
+    }
+
+    /// Graph out-degree K.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Replace all propagation parameters at once.
+    pub fn propagation(mut self, propagation: PropagationParams) -> Self {
+        self.cfg.propagation = propagation;
+        self
+    }
+
+    /// Number of Jacobi propagation sweeps.
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.cfg.propagation.iterations = iterations;
+        self
+    }
+
+    /// Propagation μ (neighbour agreement weight).
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.cfg.propagation.mu = mu;
+        self
+    }
+
+    /// Propagation ν (uniform-prior regularization weight).
+    pub fn nu(mut self, nu: f64) -> Self {
+        self.cfg.propagation.nu = nu;
+        self
+    }
+
+    /// Self-anchor weight of each vertex during sweeps.
+    pub fn self_anchor(mut self, self_anchor: f64) -> Self {
+        self.cfg.propagation.self_anchor = self_anchor;
+        self
+    }
+
+    /// Vertex representation for graph construction.
+    pub fn feature_set(mut self, feature_set: GraphFeatureSet) -> Self {
+        self.cfg.feature_set = feature_set;
+        self
+    }
+
+    /// Tempering exponent τ on the decode's transition factors.
+    pub fn trans_power(mut self, trans_power: f64) -> Self {
+        self.cfg.trans_power = trans_power;
+        self
+    }
+
+    /// Add-k smoothing on the gold tag-bigram counts.
+    pub fn trans_add_k(mut self, trans_add_k: f64) -> Self {
+        self.cfg.trans_add_k = trans_add_k;
+        self
+    }
+
+    /// Upper bound on each transition factor.
+    pub fn trans_ratio_cap(mut self, trans_ratio_cap: f64) -> Self {
+        self.cfg.trans_ratio_cap = trans_ratio_cap;
+        self
+    }
+
+    /// Validate the accumulated configuration.
+    pub fn build(self) -> Result<GraphNerConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.k == 0 {
+            return Err(ConfigError::ZeroK);
+        }
+        if !cfg.alpha.is_finite() || !(0.0..=1.0).contains(&cfg.alpha) {
+            return Err(ConfigError::AlphaNotSimplex(cfg.alpha));
+        }
+        if cfg.propagation.iterations == 0 {
+            return Err(ConfigError::ZeroIterations);
+        }
+        for (name, value) in [("mu", cfg.propagation.mu), ("nu", cfg.propagation.nu)] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::BadPropagationWeight { name, value });
+            }
+        }
+        let anchor = cfg.propagation.self_anchor;
+        if !anchor.is_finite() || !(0.0..=1.0).contains(&anchor) {
+            return Err(ConfigError::SelfAnchorNotSimplex(anchor));
+        }
+        for (name, value) in [("trans_power", cfg.trans_power), ("trans_add_k", cfg.trans_add_k)] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::BadTransitionConstant { name, value });
+            }
+        }
+        if !cfg.trans_ratio_cap.is_finite() || cfg.trans_ratio_cap <= 0.0 {
+            return Err(ConfigError::BadTransitionConstant {
+                name: "trans_ratio_cap",
+                value: cfg.trans_ratio_cap,
+            });
+        }
+        Ok(cfg)
+    }
+}
+
 impl GraphNerConfig {
+    /// Start a validating builder at the Table IV defaults.
+    pub fn builder() -> GraphNerConfigBuilder {
+        GraphNerConfigBuilder::default()
+    }
+
     /// The cross-validated configuration the paper reports for a given
     /// corpus/base-model pair (Table IV).
     pub fn table_iv(corpus: &str, chemdner: bool) -> GraphNerConfig {
@@ -139,6 +329,63 @@ mod tests {
         assert_eq!(GraphNerConfig::table_iv("BC2GM", true).propagation.iterations, 3);
         assert_eq!(GraphNerConfig::table_iv("BC2GM", false).propagation.iterations, 2);
         assert_eq!(GraphNerConfig::table_iv("AML", true).propagation.iterations, 2);
+    }
+
+    #[test]
+    fn builder_accepts_valid_overrides() {
+        let cfg = GraphNerConfig::builder()
+            .alpha(0.1)
+            .k(5)
+            .iterations(4)
+            .feature_set(GraphFeatureSet::Lexical)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(cfg.alpha, 0.1);
+        assert_eq!(cfg.k, 5);
+        assert_eq!(cfg.propagation.iterations, 4);
+        assert_eq!(cfg.feature_set, GraphFeatureSet::Lexical);
+        // untouched knobs keep the Table IV defaults
+        assert_eq!(cfg.trans_ratio_cap, 3.0);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(GraphNerConfig::builder().k(0).build(), Err(ConfigError::ZeroK));
+        assert_eq!(
+            GraphNerConfig::builder().alpha(1.5).build(),
+            Err(ConfigError::AlphaNotSimplex(1.5))
+        );
+        assert_eq!(
+            GraphNerConfig::builder().alpha(-0.01).build(),
+            Err(ConfigError::AlphaNotSimplex(-0.01))
+        );
+        assert_eq!(
+            GraphNerConfig::builder().iterations(0).build(),
+            Err(ConfigError::ZeroIterations)
+        );
+        assert_eq!(
+            GraphNerConfig::builder().mu(-1e-6).build(),
+            Err(ConfigError::BadPropagationWeight { name: "mu", value: -1e-6 })
+        );
+        assert_eq!(
+            GraphNerConfig::builder().self_anchor(2.0).build(),
+            Err(ConfigError::SelfAnchorNotSimplex(2.0))
+        );
+        assert_eq!(
+            GraphNerConfig::builder().trans_ratio_cap(0.0).build(),
+            Err(ConfigError::BadTransitionConstant { name: "trans_ratio_cap", value: 0.0 })
+        );
+        let nan = GraphNerConfig::builder().nu(f64::NAN).build();
+        assert!(matches!(nan, Err(ConfigError::BadPropagationWeight { name: "nu", .. })));
+    }
+
+    #[test]
+    fn config_error_messages_name_the_knob() {
+        assert!(ConfigError::ZeroK.to_string().contains('k'));
+        assert!(ConfigError::AlphaNotSimplex(2.0).to_string().contains("alpha"));
+        assert!(ConfigError::BadTransitionConstant { name: "trans_power", value: -1.0 }
+            .to_string()
+            .contains("trans_power"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod pipeline;
 pub mod stats;
 pub mod timings;
 
-pub use config::{GraphFeatureSet, GraphNerConfig};
+pub use config::{ConfigError, GraphFeatureSet, GraphNerConfig, GraphNerConfigBuilder};
 pub use graphbuild::{build_graph, build_vertex_vectors, feature_tag_mi, knn_from_vectors};
 pub use model::{annotations_from_predictions, GraphNer, TestOutput, TrainOutput};
 pub use persist::{load_model, save_model, PersistError};

@@ -464,6 +464,13 @@ impl Tagger for GraphTagger {
         let post = self.base.posteriors(sentence);
         combined_beliefs(sentence, &post, &self.interner, &self.x, self.alpha)
     }
+
+    /// Sentences are independent at serving time, so the batch path
+    /// fans out over the worker pool; order-preserving collection
+    /// keeps the result identical to sentence-by-sentence prediction.
+    fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
+        sentences.par_iter().map(|s| self.predict(s)).collect()
+    }
 }
 
 #[cfg(test)]

@@ -53,7 +53,13 @@ impl ChainCrf {
         let n = self.num_params();
         assert_eq!(grad.len(), n);
         let exp_trans = self.exp_transitions();
-        let chunk = (data.len() / (rayon::current_num_threads() * 4)).max(1);
+        // The chunk size must be a pure function of the data length —
+        // never of the worker count. The reduction below regroups its
+        // float sums at chunk boundaries, so thread-count-dependent
+        // boundaries would make the trained bits depend on the machine;
+        // length-only boundaries keep training byte-identical at any
+        // GRAPHNER_THREADS setting.
+        let chunk = data.len().div_ceil(64).max(1);
 
         let (nll, g) = data
             .par_chunks(chunk)

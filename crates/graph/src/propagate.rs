@@ -27,7 +27,7 @@ pub type LabelDist = [f64; NUM_TAGS];
 pub const UNIFORM: LabelDist = [1.0 / NUM_TAGS as f64; NUM_TAGS];
 
 /// Hyper-parameters of the propagation (Table IV of the paper).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PropagationParams {
     /// Weight `μ` of the neighbour-agreement term.
     pub mu: f64,

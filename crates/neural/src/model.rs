@@ -318,6 +318,15 @@ impl Tagger for TrainedLstmCrf {
     fn posteriors(&self, sentence: &Sentence) -> Vec<[f64; NUM_TAGS]> {
         TrainedLstmCrf::posteriors(self, sentence)
     }
+
+    /// Inference is per-sentence independent (the forward pass borrows
+    /// the frozen weights immutably), so the batch path parallelizes;
+    /// order-preserving collection keeps it identical to a sequential
+    /// pass.
+    fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
+        use rayon::prelude::*;
+        sentences.par_iter().map(|s| TrainedLstmCrf::predict(self, s)).collect()
+    }
 }
 
 /// One SGD step on a sentence.

@@ -34,9 +34,20 @@ pub trait Tagger {
         NUM_TAGS
     }
 
+    /// Predict a batch of sentences, in input order — the one entry
+    /// point for serving and evaluation paths that tag many sentences
+    /// at once. The provided implementation predicts sequentially;
+    /// implementations whose `predict` is independent per sentence
+    /// (every tagger in this workspace) may override it with a
+    /// parallel or genuinely batched pass, as long as the returned
+    /// tags are identical to sentence-by-sentence prediction.
+    fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
+        sentences.iter().map(|s| self.predict(s)).collect()
+    }
+
     /// Predict every sentence of a corpus, in corpus order.
     fn predict_corpus(&self, corpus: &Corpus) -> Vec<Vec<BioTag>> {
-        corpus.sentences.iter().map(|s| self.predict(s)).collect()
+        self.tag_batch(&corpus.sentences)
     }
 }
 
@@ -51,6 +62,10 @@ impl<T: Tagger + ?Sized> Tagger for &T {
 
     fn tag_count(&self) -> usize {
         (**self).tag_count()
+    }
+
+    fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
+        (**self).tag_batch(sentences)
     }
 
     fn predict_corpus(&self, corpus: &Corpus) -> Vec<Vec<BioTag>> {

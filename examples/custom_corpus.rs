@@ -6,10 +6,7 @@
 //! cargo run --release --example custom_corpus
 //! ```
 
-use graphner::banner::NerConfig;
-use graphner::core::{annotations_from_predictions, GraphNer, GraphNerConfig};
-use graphner::text::sentence::mentions_to_tags;
-use graphner::text::{tokenize, Corpus, Mention, Sentence};
+use graphner::prelude::*;
 
 fn main() {
     // Hand-labelled training data: mark gene mentions by token span.
@@ -38,8 +35,8 @@ fn main() {
             .collect(),
     );
 
-    let (model, _) =
-        GraphNer::train(&train, &NerConfig::default(), None, GraphNerConfig::default());
+    let graph_cfg = GraphNerConfig::builder().build().expect("defaults are valid");
+    let (model, _) = GraphNer::train(&train, &NerConfig::default(), None, graph_cfg);
 
     // New, unlabelled abstracts.
     let documents = [
@@ -59,7 +56,7 @@ fn main() {
     println!("tagged documents:");
     for (sentence, tags) in test.sentences.iter().zip(&out.predictions) {
         println!("\n  {}", sentence.text());
-        for m in graphner::text::sentence::tags_to_mentions(tags) {
+        for m in tags_to_mentions(tags) {
             println!("    gene: {:?} (tokens {}..{})", sentence.mention_text(&m), m.start, m.end);
         }
     }

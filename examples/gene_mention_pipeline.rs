@@ -7,10 +7,8 @@
 //! cargo run --release --example gene_mention_pipeline
 //! ```
 
-use graphner::banner::NerConfig;
-use graphner::core::{annotations_from_predictions, GraphNer, GraphNerConfig};
-use graphner::corpusgen::{generate, CorpusProfile};
-use graphner::eval::{evaluate, sigf, Metric};
+use graphner::eval::{sigf, Metric};
+use graphner::prelude::*;
 
 fn main() {
     // a small instance of the BC2GM stand-in corpus (2 % of paper size)

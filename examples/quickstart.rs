@@ -5,16 +5,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use graphner::banner::NerConfig;
-use graphner::core::{GraphNer, GraphNerConfig};
-use graphner::text::{tokenize, BioTag::*, Corpus, Sentence};
+use graphner::prelude::*;
+use BioTag::*;
 
 fn main() {
     // A miniature labelled corpus. In practice this is the BC2GM
     // training set; tags follow the BIO scheme (B/I = gene mention).
-    let mk = |id: &str, text: &str, tags: Vec<graphner::text::BioTag>| {
-        Sentence::labelled(id, tokenize(text), tags)
-    };
+    let mk = |id: &str, text: &str, tags: Vec<BioTag>| Sentence::labelled(id, tokenize(text), tags);
     let train = Corpus::from_sentences(vec![
         mk("s0", "the WT1 gene was expressed", vec![O, B, O, O, O]),
         mk("s1", "mutation of SH2B3 was detected", vec![O, O, B, O, O]),
@@ -25,12 +22,15 @@ fn main() {
     ]);
 
     // TRAIN: fits the base CRF (a BANNER-style feature-rich tagger) and
-    // the reference label distributions over training 3-grams.
+    // the reference label distributions over training 3-grams. The
+    // builder validates the configuration up front (k = 0, a
+    // non-simplex alpha, zero iterations, … are typed errors).
+    let graph_cfg = GraphNerConfig::builder().build().expect("Table IV defaults are valid");
     let (model, report) = GraphNer::train(
         &train,
         &NerConfig::default(),
         None, // Some(resources) would build the BANNER-ChemDNER variant
-        GraphNerConfig::default(),
+        graph_cfg,
     );
     println!(
         "base CRF trained: {} L-BFGS iterations, objective {:.3}",
@@ -51,7 +51,7 @@ fn main() {
             print!("{tok}/{tag} ");
         }
         println!();
-        for m in graphner::text::sentence::tags_to_mentions(tags) {
+        for m in tags_to_mentions(tags) {
             println!("  gene mention: {:?}", sentence.mention_text(&m));
         }
     }

@@ -11,15 +11,11 @@
 //! cargo run --release --example worked_example
 //! ```
 
-use graphner::banner::NerConfig;
-use graphner::core::{GraphNer, GraphNerConfig};
-use graphner::crf::TrainConfig;
-use graphner::text::{tokenize, BioTag::*, Corpus, Sentence};
+use graphner::prelude::*;
+use BioTag::*;
 
 fn main() {
-    let mk = |id: &str, text: &str, tags: Vec<graphner::text::BioTag>| {
-        Sentence::labelled(id, tokenize(text), tags)
-    };
+    let mk = |id: &str, text: &str, tags: Vec<BioTag>| Sentence::labelled(id, tokenize(text), tags);
     // Labelled data: "wilms tumor - <n>" genes in several contexts, and
     // the "tumor - <n> subclone" distractor where "-" is O.
     let mut sentences = vec![
@@ -60,7 +56,8 @@ fn main() {
         train: TrainConfig { max_iterations: 100, l2: 1.0, ..Default::default() },
         ..Default::default()
     };
-    let (model, _) = GraphNer::train(&train, &cfg, None, GraphNerConfig::default());
+    let graph_cfg = GraphNerConfig::builder().build().expect("defaults are valid");
+    let (model, _) = GraphNer::train(&train, &cfg, None, graph_cfg);
 
     // Unlabelled test data: an unseen "wilms tumor - 1" variant, plus
     // the non-gene distractor.

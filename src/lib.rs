@@ -11,7 +11,10 @@
 //! evaluation tooling (exact-match scorer, sigf significance testing,
 //! UpSet error analysis).
 //!
-//! This umbrella crate re-exports the workspace members:
+//! The [`prelude`] re-exports the ~15 items of the end-to-end
+//! workflow (`use graphner::prelude::*;` is the recommended import for
+//! applications); this umbrella crate also re-exports the workspace
+//! members wholesale:
 //!
 //! * [`text`] — tokens, BIO tags, sentences, corpora, BC2GM format;
 //! * [`crf`] — the chain CRF (orders 1 and 2) with L-BFGS training;
@@ -28,6 +31,32 @@
 //! See `examples/quickstart.rs` for a five-minute tour and the
 //! `graphner-bench` crate for the binaries regenerating every table and
 //! figure of the paper.
+
+pub mod prelude {
+    //! Everything a user needs end-to-end, in one import.
+    //!
+    //! `use graphner::prelude::*;` brings in the types of the whole
+    //! workflow — build a [`Corpus`] of [`Sentence`]s (or [`generate`]
+    //! a synthetic one from a [`CorpusProfile`]), configure the base
+    //! CRF with [`NerConfig`] and GraphNER with
+    //! [`GraphNerConfig::builder`], train a [`GraphNer`], test it
+    //! transductively (directly or through a cached [`TestSession`]),
+    //! freeze a serving-style [`GraphTagger`], persist with
+    //! [`save_model`]/[`load_model`], and score any [`Tagger`] with
+    //! [`evaluate_tagger`]. Everything else stays reachable through
+    //! the per-crate modules (`graphner::text`, `graphner::eval`, …).
+
+    pub use graphner_banner::NerConfig;
+    pub use graphner_core::{
+        annotations_from_predictions, load_model, save_model, ConfigError, GraphNer,
+        GraphNerConfig, GraphNerConfigBuilder, GraphTagger, TestOutput, TestSession,
+    };
+    pub use graphner_corpusgen::{generate, CorpusProfile};
+    pub use graphner_crf::TrainConfig;
+    pub use graphner_eval::{evaluate, evaluate_tagger, Evaluation};
+    pub use graphner_text::sentence::{mentions_to_tags, tags_to_mentions};
+    pub use graphner_text::{tokenize, BioTag, Corpus, Mention, Sentence, Tagger};
+}
 
 pub use graphner_banner as banner;
 pub use graphner_core as core;

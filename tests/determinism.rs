@@ -48,6 +48,73 @@ fn two_fresh_sessions_produce_byte_identical_output() {
     assert_eq!(canonical(&cached), canonical(&out_a));
 }
 
+/// Train + test + a small ablation sweep, rendered canonically.
+///
+/// This is the workload both halves of the thread-invariance check run:
+/// the `GRAPHNER_THREADS=1` child and the `GRAPHNER_THREADS=4` child
+/// must produce byte-identical dumps, which covers CRF training
+/// (parallel gradient reduction), posterior extraction, k-NN
+/// construction, propagation, decoding, and the session cache.
+fn full_pipeline_dump() -> String {
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, report) =
+        GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let unlabelled = corpus.test.without_tags();
+    let mut dump = format!(
+        "train_iterations={}\ntrain_objective={:?}\n",
+        report.report.iterations, report.report.objective
+    );
+    let mut session = TestSession::new(&model, &unlabelled);
+    dump.push_str(&canonical(&session.run(model.config())));
+    let variants = [
+        GraphNerConfig { k: 5, ..GraphNerConfig::default() },
+        GraphNerConfig { alpha: 0.5, ..GraphNerConfig::default() },
+    ];
+    for cfg in &variants {
+        dump.push_str("ablation_row:\n");
+        dump.push_str(&canonical(&session.run(cfg)));
+    }
+    dump
+}
+
+/// Child half of the thread-invariance check: run under a specific
+/// `GRAPHNER_THREADS` and write the canonical pipeline dump to the path
+/// named by `GRAPHNER_DUMP_PATH`. Ignored by default; the parent test
+/// below invokes it explicitly via the test harness.
+#[test]
+#[ignore = "spawned as a subprocess by thread_count_invariance"]
+fn dump_canonical_outputs() {
+    let path = std::env::var("GRAPHNER_DUMP_PATH")
+        .expect("GRAPHNER_DUMP_PATH must be set when running the dump half");
+    std::fs::write(&path, full_pipeline_dump()).expect("write canonical dump");
+}
+
+/// The pool reads `GRAPHNER_THREADS` once at first use, so exercising
+/// two pool sizes requires two processes. Each child runs the full
+/// train + test + ablation pipeline and dumps its canonical outputs;
+/// the dumps must match byte-for-byte.
+#[test]
+fn thread_count_invariance_byte_identical_across_pool_sizes() {
+    let exe = std::env::current_exe().expect("test executable path");
+    let mut dumps = Vec::new();
+    for threads in ["1", "4"] {
+        let path = std::env::temp_dir()
+            .join(format!("graphner-det-{}-t{threads}.txt", std::process::id()));
+        let status = std::process::Command::new(&exe)
+            .args(["dump_canonical_outputs", "--exact", "--ignored", "--test-threads", "1"])
+            .env("GRAPHNER_THREADS", threads)
+            .env("GRAPHNER_DUMP_PATH", &path)
+            .status()
+            .expect("spawn dump subprocess");
+        assert!(status.success(), "dump subprocess failed for GRAPHNER_THREADS={threads}");
+        let dump = std::fs::read_to_string(&path).expect("read canonical dump");
+        let _ = std::fs::remove_file(&path);
+        assert!(dump.contains("predictions="), "dump for GRAPHNER_THREADS={threads} looks empty");
+        dumps.push(dump);
+    }
+    assert_eq!(dumps[0], dumps[1], "pipeline outputs must be byte-identical at 1 and 4 threads");
+}
+
 #[test]
 fn ablation_sweep_rows_are_reproducible() {
     let corpus = generate(&CorpusProfile::aml().scaled(0.02));

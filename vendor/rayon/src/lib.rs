@@ -1,128 +1,529 @@
-//! In-repo stand-in for `rayon`: the exact parallel-iterator API surface
-//! this workspace uses, executed *sequentially* on the calling thread.
+//! In-repo stand-in for `rayon`: the exact parallel-iterator API
+//! surface this workspace uses, executed on a real global worker pool.
 //!
-//! Every `par_iter` / `par_chunks` / `into_par_iter` call site keeps its
-//! rayon shape (so swapping the real crate back in is a Cargo.toml-only
-//! change), but work is a plain iterator pipeline. Results are identical
-//! to real rayon for the combinators used here because the workspace
-//! only relies on order-preserving operations (`map`, `zip`, `collect`)
-//! and associative-commutative reductions (`reduce` with `f64::max`,
-//! tuple sums).
+//! Every `par_iter` / `par_chunks` / `into_par_iter` call site keeps
+//! its rayon shape (so swapping the real crate back in is a
+//! Cargo.toml-only change), but unlike real rayon the execution is
+//! *deterministic by construction*: inputs are split at chunk
+//! boundaries that depend only on the input length (see
+//! [`chunk_ranges`]), chunks run on whichever threads are free, and
+//! per-chunk results are merged in chunk-index order. `map`, `zip`,
+//! `enumerate` and `collect` therefore preserve order exactly, and
+//! `reduce`/`sum` group their operands identically at any
+//! `GRAPHNER_THREADS` setting — byte-identical results at 1, 2, or 64
+//! threads.
+//!
+//! The two-layer design mirrors rayon's indexed producers:
+//!
+//! * a [`Source`] is random-access — it knows its length and can
+//!   produce the item at any index once (slices, mutable slices,
+//!   chunked slices, owned vectors, integer ranges, zips of sources);
+//! * a [`Pipeline`] is the adaptor stack over a source (`map`,
+//!   `map_init`, `filter`) driven by internal iteration over one
+//!   contiguous index range at a time.
+//!
+//! `zip` and `enumerate` are deliberately only available directly on
+//! sources (before any `map`), matching how real rayon restricts them
+//! to indexed iterators — and matching every call site in this
+//! workspace.
+//!
+//! `map_init` creates one scratch state per *chunk*, the pool analogue
+//! of rayon's per-worker state: call sites must already tolerate reuse
+//! across arbitrary item subsets, and a fresh state per chunk keeps the
+//! output independent of the thread count.
 
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
 use std::ops::Range;
 
-/// Number of worker threads. The stand-in executes sequentially, so 1.
+mod pool;
+
+pub use pool::{chunk_ranges, pool_stats, PoolStats, IDLE_BUCKETS, IDLE_BUCKET_EDGES_US, THREADS_ENV};
+
+/// Number of threads parallel work runs on: the pool's workers plus
+/// the submitting thread (`GRAPHNER_THREADS`, defaulting to
+/// [`std::thread::available_parallelism`]).
 pub fn current_num_threads() -> usize {
-    1
+    pool::global().size()
 }
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator.
-pub struct ParIter<I> {
-    inner: I,
+// ---------------------------------------------------------------------
+// Sources: random-access item producers.
+// ---------------------------------------------------------------------
+
+/// A random-access producer behind a parallel iterator.
+///
+/// # Safety
+///
+/// Implementations may move items out or hand out disjoint `&mut`
+/// borrows, so the contract callers must uphold is: `get(i)` is called
+/// only with `i < len()`, and each index is consumed **at most once**
+/// across all threads. [`pool::drive`] guarantees this by handing out
+/// disjoint index ranges.
+pub unsafe trait Source: Sync {
+    /// Item produced per index.
+    type Item;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Produce item `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, and each index is consumed at most once.
+    unsafe fn get(&self, i: usize) -> Self::Item;
 }
 
-impl<I: Iterator> ParIter<I> {
+/// Shared-reference source over a slice.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+// Safety: hands out `&T` by index — plain shared access.
+unsafe impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Exclusive-reference source over a slice: disjoint indices yield
+/// disjoint `&mut` borrows, which the [`Source`] contract guarantees.
+pub struct SliceMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Safety: `get` hands each element's `&mut` to exactly one consumer
+// (the at-most-once index contract), so sharing the source across
+// threads shares nothing but disjoint `T: Send` borrows.
+unsafe impl<T: Send> Send for SliceMutSource<'_, T> {}
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+
+unsafe impl<'a, T: Send> Source for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        assert!(i < self.len);
+        // Safety: in-bounds, and disjoint per the index contract.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Source of `&[T]` windows of at most `size` items.
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+// Safety: hands out shared subslices — plain shared access.
+unsafe impl<'a, T: Sync> Source for ChunksSource<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
+
+/// Owning source: moves items out of a vector by index.
+pub struct VecSource<T> {
+    buf: ManuallyDrop<Vec<T>>,
+}
+
+// Safety: items are only ever *moved out*, each at most once, so no
+// `&T` is ever shared between threads; `T: Send` covers the move.
+unsafe impl<T: Send> Send for VecSource<T> {}
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+unsafe impl<T: Send> Source for VecSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> T {
+        assert!(i < self.buf.len());
+        // Safety: in-bounds, and the at-most-once contract makes this
+        // a move, not a duplication.
+        unsafe { std::ptr::read(self.buf.as_ptr().add(i)) }
+    }
+}
+
+impl<T> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        // Free the backing buffer without dropping elements: consumed
+        // items were moved out by `get`, so dropping them here would
+        // double-drop. Items never consumed (a cancelled job's tail)
+        // leak, which is safe.
+        // Safety: `buf` is not used again after `take`.
+        let mut vec = unsafe { ManuallyDrop::take(&mut self.buf) };
+        // Safety: 0 ≤ capacity, and no initialized elements remain
+        // under our management.
+        unsafe { vec.set_len(0) };
+    }
+}
+
+/// Integer-range source.
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        // Safety: produces values, shares nothing.
+        unsafe impl Source for RangeSource<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            unsafe fn get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+    )*};
+}
+
+range_source!(usize, u32, u64);
+
+/// Lock-step pair of sources, truncated to the shorter one.
+pub struct ZipSource<A, B> {
+    a: A,
+    b: B,
+}
+
+// Safety: forwards the index contract to both inner sources.
+unsafe impl<A: Source, B: Source> Source for ZipSource<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        // Safety: forwarded contract; `i` is in range for both.
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+/// Source pairing each item with its index.
+pub struct EnumerateSource<S> {
+    inner: S,
+}
+
+// Safety: forwards the index contract to the inner source.
+unsafe impl<S: Source> Source for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> (usize, S::Item) {
+        // Safety: forwarded contract.
+        (i, unsafe { self.inner.get(i) })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipelines: adaptor stacks driven by internal iteration.
+// ---------------------------------------------------------------------
+
+/// An adaptor stack over a [`Source`], executed one contiguous index
+/// range at a time via internal iteration.
+pub trait Pipeline: Sync {
+    /// Item flowing out of the stack.
+    type Item;
+
+    /// Number of *source* indices (an upper bound on emitted items —
+    /// `filter` emits fewer).
+    fn len(&self) -> usize;
+
+    /// Feed every item whose source index lies in `range` into `sink`,
+    /// in ascending index order.
+    fn feed(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item));
+}
+
+/// The base of every stack: a bare [`Source`].
+pub struct SourcePipe<S> {
+    source: S,
+}
+
+impl<S: Source> Pipeline for SourcePipe<S> {
+    type Item = S::Item;
+
+    fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    fn feed(&self, range: Range<usize>, sink: &mut dyn FnMut(S::Item)) {
+        for i in range {
+            // Safety: the driver hands out disjoint in-bounds ranges,
+            // so each index is consumed exactly once.
+            sink(unsafe { self.source.get(i) });
+        }
+    }
+}
+
+/// `map` stage.
+pub struct MapPipe<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, F, R> Pipeline for MapPipe<P, F>
+where
+    P: Pipeline,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn feed(&self, range: Range<usize>, sink: &mut dyn FnMut(R)) {
+        self.inner.feed(range, &mut |item| sink((self.f)(item)));
+    }
+}
+
+/// `map_init` stage: scratch state created once per chunk.
+pub struct MapInitPipe<P, INIT, F> {
+    inner: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, INIT, T, F, R> Pipeline for MapInitPipe<P, INIT, F>
+where
+    P: Pipeline,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn feed(&self, range: Range<usize>, sink: &mut dyn FnMut(R)) {
+        let mut state = (self.init)();
+        self.inner.feed(range, &mut |item| sink((self.f)(&mut state, item)));
+    }
+}
+
+/// `filter` stage.
+pub struct FilterPipe<P, F> {
+    inner: P,
+    predicate: F,
+}
+
+impl<P, F> Pipeline for FilterPipe<P, F>
+where
+    P: Pipeline,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn feed(&self, range: Range<usize>, sink: &mut dyn FnMut(P::Item)) {
+        self.inner.feed(range, &mut |item| {
+            if (self.predicate)(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// The public parallel iterator.
+// ---------------------------------------------------------------------
+
+/// A parallel iterator: a pipeline awaiting a terminal operation.
+pub struct ParIter<P> {
+    pipeline: P,
+}
+
+impl<P: Pipeline> ParIter<P> {
     /// Map each item.
-    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    pub fn map<F, R>(self, f: F) -> ParIter<MapPipe<P, F>>
     where
-        F: FnMut(I::Item) -> R,
+        F: Fn(P::Item) -> R + Sync,
     {
-        ParIter { inner: self.inner.map(f) }
+        ParIter { pipeline: MapPipe { inner: self.pipeline, f } }
     }
 
-    /// Map each item with per-"thread" scratch state (created once here,
-    /// since there is a single thread).
-    pub fn map_init<INIT, T, F, R>(
-        self,
-        init: INIT,
-        mut f: F,
-    ) -> ParIter<impl Iterator<Item = R>>
+    /// Map each item with scratch state created once per chunk (the
+    /// pool analogue of rayon's per-worker init).
+    pub fn map_init<INIT, T, F, R>(self, init: INIT, f: F) -> ParIter<MapInitPipe<P, INIT, F>>
     where
-        INIT: Fn() -> T,
-        F: FnMut(&mut T, I::Item) -> R,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, P::Item) -> R + Sync,
     {
-        let mut state = init();
-        ParIter { inner: self.inner.map(move |item| f(&mut state, item)) }
-    }
-
-    /// Pair items with their index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter { inner: self.inner.enumerate() }
-    }
-
-    /// Zip with another parallel iterator.
-    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
-        ParIter { inner: self.inner.zip(other.inner) }
+        ParIter { pipeline: MapInitPipe { inner: self.pipeline, init, f } }
     }
 
     /// Filter items.
-    pub fn filter<P>(self, predicate: P) -> ParIter<std::iter::Filter<I, P>>
+    pub fn filter<F>(self, predicate: F) -> ParIter<FilterPipe<P, F>>
     where
-        P: FnMut(&I::Item) -> bool,
+        F: Fn(&P::Item) -> bool + Sync,
     {
-        ParIter { inner: self.inner.filter(predicate) }
+        ParIter { pipeline: FilterPipe { inner: self.pipeline, predicate } }
     }
 
-    /// Run a side effect for each item.
+    /// Run a side effect for each item. Items stay on the thread that
+    /// produced them.
     pub fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        F: Fn(P::Item) + Sync,
     {
-        self.inner.for_each(f);
+        pool::drive(self.pipeline.len(), |range| {
+            self.pipeline.feed(range, &mut |item| f(item));
+        });
     }
 
-    /// Collect into any `FromIterator` collection.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
+    /// Collect into any `FromIterator` collection, preserving source
+    /// order exactly (chunks are concatenated in index order).
+    pub fn collect<C>(self) -> C
+    where
+        P::Item: Send,
+        C: FromIterator<P::Item>,
+    {
+        let chunks = pool::drive(self.pipeline.len(), |range| {
+            let mut out = Vec::with_capacity(range.len());
+            self.pipeline.feed(range, &mut |item| out.push(item));
+            out
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// Fold from `identity()` with `op` (rayon's reduce signature).
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Each chunk folds sequentially from its own identity, then the
+    /// per-chunk results fold in chunk-index order — the grouping is a
+    /// pure function of the input length, never of the thread count.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        P::Item: Send,
+        ID: Fn() -> P::Item + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Sync,
     {
-        self.inner.fold(identity(), op)
+        let chunks = pool::drive(self.pipeline.len(), |range| {
+            let mut acc = Some(identity());
+            self.pipeline.feed(range, &mut |item| {
+                let prev = acc.take().unwrap_or_else(&identity);
+                acc = Some(op(prev, item));
+            });
+            acc.unwrap_or_else(&identity)
+        });
+        chunks.into_iter().fold(identity(), &op)
     }
 
-    /// Sum the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.inner.sum()
+    /// Sum the items (per-chunk sums, merged in chunk-index order).
+    pub fn sum<S>(self) -> S
+    where
+        P::Item: Send,
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let partials = pool::drive(self.pipeline.len(), |range| {
+            let mut items = Vec::with_capacity(range.len());
+            self.pipeline.feed(range, &mut |item| items.push(item));
+            items.into_iter().sum::<S>()
+        });
+        partials.into_iter().sum()
     }
 
-    /// Number of items.
+    /// Number of items emitted.
     pub fn count(self) -> usize {
-        self.inner.count()
+        let partials = pool::drive(self.pipeline.len(), |range| {
+            let mut n = 0usize;
+            self.pipeline.feed(range, &mut |_| n += 1);
+            n
+        });
+        partials.into_iter().sum()
     }
 }
 
-/// `.par_iter()` / `.par_iter_mut()` / `.par_chunks()` on slices.
-pub trait ParallelSliceExt<T> {
+/// `zip` and `enumerate` need random access, so — as in real rayon,
+/// where they require indexed iterators — they are only available on a
+/// bare source, before any `map`/`filter` stage.
+impl<S: Source> ParIter<SourcePipe<S>> {
+    /// Pair items with their index.
+    pub fn enumerate(self) -> ParIter<SourcePipe<EnumerateSource<S>>> {
+        ParIter { pipeline: SourcePipe { source: EnumerateSource { inner: self.pipeline.source } } }
+    }
+
+    /// Zip with another source-level parallel iterator, truncating to
+    /// the shorter of the two.
+    pub fn zip<S2: Source>(
+        self,
+        other: ParIter<SourcePipe<S2>>,
+    ) -> ParIter<SourcePipe<ZipSource<S, S2>>> {
+        ParIter {
+            pipeline: SourcePipe {
+                source: ZipSource { a: self.pipeline.source, b: other.pipeline.source },
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits.
+// ---------------------------------------------------------------------
+
+/// `.par_iter()` / `.par_chunks()` on slices.
+pub trait ParallelSliceExt<T: Sync> {
     /// Iterate shared references.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// Iterate chunks of at most `size` items.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_iter(&self) -> ParIter<SourcePipe<SliceSource<'_, T>>>;
+
+    /// Iterate chunks of at most `size` items (`size > 0`).
+    fn par_chunks(&self, size: usize) -> ParIter<SourcePipe<ChunksSource<'_, T>>>;
 }
 
 /// `.par_iter_mut()` on slices.
-pub trait ParallelSliceMutExt<T> {
+pub trait ParallelSliceMutExt<T: Send> {
     /// Iterate exclusive references.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_iter_mut(&mut self) -> ParIter<SourcePipe<SliceMutSource<'_, T>>>;
 }
 
-impl<T> ParallelSliceExt<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter { inner: self.iter() }
+impl<T: Sync> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<SourcePipe<SliceSource<'_, T>>> {
+        ParIter { pipeline: SourcePipe { source: SliceSource { slice: self } } }
     }
 
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter { inner: self.chunks(size) }
+    fn par_chunks(&self, size: usize) -> ParIter<SourcePipe<ChunksSource<'_, T>>> {
+        assert!(size > 0, "par_chunks requires a positive chunk size");
+        ParIter { pipeline: SourcePipe { source: ChunksSource { slice: self, size } } }
     }
 }
 
-impl<T> ParallelSliceMutExt<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter { inner: self.iter_mut() }
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SourcePipe<SliceMutSource<'_, T>>> {
+        let len = self.len();
+        let ptr = self.as_mut_ptr();
+        ParIter { pipeline: SourcePipe { source: SliceMutSource { ptr, len, _marker: PhantomData } } }
     }
 }
 
@@ -130,49 +531,46 @@ impl<T> ParallelSliceMutExt<T> for [T] {
 pub trait IntoParallelIterator {
     /// Item type.
     type Item;
-    /// Underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    /// Underlying random-access source.
+    type Source: Source<Item = Self::Item>;
     /// Convert into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    fn into_par_iter(self) -> ParIter<SourcePipe<Self::Source>>;
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.into_iter() }
+    type Source = VecSource<T>;
+
+    fn into_par_iter(self) -> ParIter<SourcePipe<VecSource<T>>> {
+        ParIter { pipeline: SourcePipe { source: VecSource { buf: ManuallyDrop::new(self) } } }
     }
 }
 
-impl IntoParallelIterator for Range<usize> {
-    type Item = usize;
-    type Iter = Range<usize>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
-    }
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Source = RangeSource<$t>;
+
+            fn into_par_iter(self) -> ParIter<SourcePipe<RangeSource<$t>>> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter {
+                    pipeline: SourcePipe { source: RangeSource { start: self.start, len } },
+                }
+            }
+        }
+    )*};
 }
 
-impl IntoParallelIterator for Range<u32> {
-    type Item = u32;
-    type Iter = Range<u32>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
-    }
-}
-
-impl IntoParallelIterator for Range<u64> {
-    type Item = u64;
-    type Iter = Range<u64>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
-    }
-}
+range_into_par_iter!(usize, u32, u64);
 
 /// The traits a `use rayon::prelude::*` is expected to bring in scope.
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, ParallelSliceExt, ParallelSliceMutExt,
-    };
+    pub use crate::{IntoParallelIterator, ParallelSliceExt, ParallelSliceMutExt};
 }
 
 #[cfg(test)]
@@ -188,10 +586,7 @@ mod tests {
 
     #[test]
     fn reduce_with_identity() {
-        let m: f64 = vec![1.0f64, 5.0, 3.0]
-            .par_iter()
-            .map(|&x| x)
-            .reduce(|| 0.0, f64::max);
+        let m: f64 = vec![1.0f64, 5.0, 3.0].par_iter().map(|&x| x).reduce(|| 0.0, f64::max);
         assert!((m - 5.0).abs() < 1e-12);
     }
 
@@ -209,15 +604,77 @@ mod tests {
     }
 
     #[test]
-    fn map_init_reuses_state() {
-        let results: Vec<usize> = (0..4usize)
+    fn map_init_state_is_per_chunk() {
+        // scratch persists across the items of one chunk and starts
+        // fresh at every chunk boundary, independent of thread count
+        let len = 150usize;
+        let got: Vec<usize> = (0..len)
             .into_par_iter()
             .map_init(Vec::<usize>::new, |scratch, i| {
                 scratch.push(i);
                 scratch.len()
             })
             .collect();
-        // single "thread": scratch persists across items
-        assert_eq!(results, vec![1, 2, 3, 4]);
+        let mut expected = Vec::with_capacity(len);
+        for range in crate::chunk_ranges(len) {
+            for (offset, _) in range.enumerate() {
+                expected.push(offset + 1);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn large_map_collect_preserves_order() {
+        let n = 10_000usize;
+        let squares: Vec<usize> = (0..n).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), n);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn filter_then_count() {
+        let evens = (0..1000u64).into_par_iter().filter(|x| x % 2 == 0).count();
+        assert_eq!(evens, 500);
+    }
+
+    #[test]
+    fn panic_in_chunk_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..256usize)
+                .into_par_iter()
+                .map(|i| if i == 101 { panic!("chunk panic") } else { i })
+                .collect::<Vec<_>>()
+        });
+        assert!(caught.is_err());
+        // the pool keeps working after a propagated panic
+        let sum: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn nested_parallelism_makes_progress() {
+        let totals: Vec<u64> =
+            (0..8u64).into_par_iter().map(|i| (0..100u64).into_par_iter().map(|j| i * j).sum()).collect();
+        for (i, &t) in totals.iter().enumerate() {
+            assert_eq!(t, i as u64 * 4950);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_in_order() {
+        for len in [0usize, 1, 2, 63, 64, 65, 1000] {
+            let ranges = crate::chunk_ranges(len);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end >= r.start);
+                next = r.end;
+            }
+            assert_eq!(next, len);
+            assert!(ranges.len() <= 64);
+        }
     }
 }

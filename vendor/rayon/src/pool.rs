@@ -1,0 +1,387 @@
+//! The global worker pool behind the parallel iterators.
+//!
+//! # Shape
+//!
+//! A lazily initialized set of `std::thread` workers shared by every
+//! parallel call in the process. The pool size comes from the
+//! `GRAPHNER_THREADS` environment variable (read once, at first use),
+//! defaulting to [`std::thread::available_parallelism`]. With size 1 no
+//! worker threads are spawned at all and every job runs inline on the
+//! calling thread.
+//!
+//! A *job* is one terminal parallel operation (`collect`, `for_each`,
+//! `reduce`, …) split into up to [`MAX_CHUNKS`] contiguous index
+//! ranges. The submitting thread pushes the job onto a shared queue,
+//! wakes the workers, and then participates: it claims chunks exactly
+//! like a worker until none remain, then blocks on the job's completion
+//! latch. Workers that finish early steal chunks of whatever job is at
+//! the front of the queue, so a job is never stuck waiting for a
+//! sleeping thread.
+//!
+//! # Determinism
+//!
+//! Chunk *boundaries* are a pure function of the input length — see
+//! [`chunk_ranges`] — and terminal operations merge per-chunk results
+//! in chunk-index order. Which thread executes a chunk, and in what
+//! temporal order chunks run, is scheduling noise that never reaches
+//! the result: outputs are byte-identical at any `GRAPHNER_THREADS`
+//! setting, including 1. (This is also why the boundaries must *not*
+//! depend on the worker count: a float reduction regroups at chunk
+//! edges, so thread-count-dependent edges would make training bits a
+//! function of the machine.)
+//!
+//! # Panic safety
+//!
+//! A panicking chunk marks the job cancelled (remaining chunks are
+//! skipped), the first panic payload is stored, every claimed chunk
+//! still counts toward the completion latch, and the submitting thread
+//! re-raises the payload after the latch opens — by which point no
+//! other thread can touch the job's borrowed task again.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Environment variable fixing the pool size (a positive integer).
+pub const THREADS_ENV: &str = "GRAPHNER_THREADS";
+
+/// Upper bound on the number of chunks a job is split into. Small
+/// enough that per-chunk bookkeeping is negligible, large enough that
+/// any plausible worker count keeps busy.
+const MAX_CHUNKS: usize = 64;
+
+/// Number of idle-wait histogram buckets (five bounded + overflow).
+pub const IDLE_BUCKETS: usize = 6;
+
+/// Upper edges of the bounded idle-wait buckets, in microseconds; the
+/// final bucket of [`PoolStats::idle_waits`] is unbounded.
+pub const IDLE_BUCKET_EDGES_US: [u64; IDLE_BUCKETS - 1] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Deterministic chunk boundaries for an input of `len` items: at most
+/// [`MAX_CHUNKS`] contiguous ranges, sizes differing by at most one,
+/// covering `0..len` in order. Depends on nothing but `len`.
+pub fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
+    let chunks = len.min(MAX_CHUNKS);
+    (0..chunks).map(|i| (i * len / chunks)..((i + 1) * len / chunks)).collect()
+}
+
+/// Poison-tolerant lock: a panic inside a chunk is propagated by the
+/// pool itself, so a poisoned mutex carries no extra information here.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Lifetime-erased pointer to a job's chunk task. Only dereferenced by
+/// chunk executions, all of which complete before [`Pool::run`]
+/// returns — the borrow it was erased from outlives every dereference.
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// Safety: the pointee is `Sync` (shared execution from many threads is
+// its purpose) and is only used within the submitting borrow's
+// lifetime, as argued on `TaskRef` and enforced by the job latch.
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+/// One terminal parallel operation, shared between the submitting
+/// thread and the workers via `Arc` (so queue stragglers holding a
+/// reference after completion touch only their own metadata).
+struct Job {
+    task: TaskRef,
+    num_chunks: usize,
+    /// Next chunk index to claim; claims at or past `num_chunks` are
+    /// exhausted-job signals, not work.
+    next: AtomicUsize,
+    /// Chunks not yet finished executing (or being skipped).
+    pending: AtomicUsize,
+    /// Set by the first panicking chunk: remaining chunks are skipped.
+    cancelled: AtomicBool,
+    /// First panic payload, re-raised by the submitting thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion latch the submitting thread blocks on.
+    done: Mutex<bool>,
+    latch: Condvar,
+}
+
+impl Job {
+    /// Execute (or, when cancelled, skip) one claimed chunk and credit
+    /// it to the completion latch.
+    fn run_chunk(&self, chunk: usize, on_worker: bool, stats: &Stats) {
+        if !self.cancelled.load(Ordering::Acquire) {
+            // Safety: see `TaskRef` — the submitting borrow is alive
+            // until the latch this execution precedes.
+            let task = unsafe { &*self.task.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(chunk))) {
+                self.cancelled.store(true, Ordering::Release);
+                let mut slot = lock(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        stats.chunks.fetch_add(1, Ordering::Relaxed);
+        if on_worker {
+            stats.chunks_on_workers.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *lock(&self.done) = true;
+            self.latch.notify_all();
+        }
+    }
+}
+
+/// Pool-lifetime scheduling counters, exposed via [`pool_stats`].
+#[derive(Default)]
+struct Stats {
+    jobs: AtomicU64,
+    chunks: AtomicU64,
+    chunks_on_workers: AtomicU64,
+    idle_waits: [AtomicU64; IDLE_BUCKETS],
+}
+
+impl Stats {
+    fn record_idle(&self, waited: std::time::Duration) {
+        let us = waited.as_micros() as u64;
+        let bucket = IDLE_BUCKET_EDGES_US
+            .iter()
+            .position(|&edge| us < edge)
+            .unwrap_or(IDLE_BUCKETS - 1);
+        self.idle_waits[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Read-only snapshot of the pool's configuration and lifetime
+/// counters, for export into the workspace metric registry.
+#[derive(Clone, Debug)]
+pub struct PoolStats {
+    /// Concurrent threads a job can run on (workers + submitter).
+    pub threads: usize,
+    /// Terminal parallel operations submitted so far.
+    pub jobs_submitted: u64,
+    /// Chunks executed (or skipped after cancellation) so far.
+    pub chunks_executed: u64,
+    /// Chunks executed by pool workers rather than the submitting
+    /// thread — the "stolen" share of the work.
+    pub chunks_on_workers: u64,
+    /// Worker idle-wait episodes, bucketed per
+    /// [`IDLE_BUCKET_EDGES_US`] with a final unbounded bucket.
+    pub idle_waits: [u64; IDLE_BUCKETS],
+}
+
+/// Snapshot the global pool's configuration and counters. Initializes
+/// the pool if no parallel work has run yet.
+pub fn pool_stats() -> PoolStats {
+    let pool = global();
+    let stats = &pool.shared.stats;
+    let mut idle_waits = [0u64; IDLE_BUCKETS];
+    for (out, bucket) in idle_waits.iter_mut().zip(&stats.idle_waits) {
+        *out = bucket.load(Ordering::Relaxed);
+    }
+    PoolStats {
+        threads: pool.size,
+        jobs_submitted: stats.jobs.load(Ordering::Relaxed),
+        chunks_executed: stats.chunks.load(Ordering::Relaxed),
+        chunks_on_workers: stats.chunks_on_workers.load(Ordering::Relaxed),
+        idle_waits,
+    }
+}
+
+/// State shared between the submitting threads and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_available: Condvar,
+    stats: Stats,
+}
+
+/// The worker pool: spawned threads plus the shared queue.
+pub(crate) struct Pool {
+    size: usize,
+    shared: Arc<Shared>,
+}
+
+fn configured_size() -> usize {
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide pool, created on first use.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(Pool::new)
+}
+
+impl Pool {
+    fn new() -> Pool {
+        let size = configured_size();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            stats: Stats::default(),
+        });
+        // size − 1 workers: the submitting thread is the size-th
+        // executor. Spawn failure just degrades concurrency — the
+        // submitter alone always completes every job.
+        for i in 1..size {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("graphner-rayon-{i}"))
+                .spawn(move || worker_loop(&shared));
+            if spawned.is_err() {
+                break;
+            }
+        }
+        Pool { size, shared }
+    }
+
+    pub(crate) fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `task(c)` for every chunk index `c` in `0..num_chunks`
+    /// across the pool, blocking until all have completed. A panic in
+    /// any chunk cancels the rest and is re-raised here.
+    pub(crate) fn run<'scope>(&self, num_chunks: usize, task: &'scope (dyn Fn(usize) + Sync)) {
+        debug_assert!(num_chunks > 0);
+        self.shared.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        // Safety: `run` does not return until the latch below has
+        // opened, which happens only after the final dereference of
+        // this pointer — the erased borrow outlives every use.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&'scope (dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                task,
+            )
+        };
+        let task = TaskRef(erased as *const (dyn Fn(usize) + Sync));
+        let job = Arc::new(Job {
+            task,
+            num_chunks,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(num_chunks),
+            cancelled: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            latch: Condvar::new(),
+        });
+        lock(&self.shared.queue).push_back(Arc::clone(&job));
+        self.shared.work_available.notify_all();
+
+        // Participate like a worker until the job has no unclaimed
+        // chunks left (nested jobs therefore always make progress even
+        // if every pool worker is busy elsewhere).
+        loop {
+            let chunk = job.next.fetch_add(1, Ordering::SeqCst);
+            if chunk >= num_chunks {
+                break;
+            }
+            job.run_chunk(chunk, false, &self.shared.stats);
+        }
+
+        let mut done = lock(&job.done);
+        while !*done {
+            done = job.latch.wait(done).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        drop(done);
+
+        let payload = lock(&job.panic).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = next_job(shared);
+        loop {
+            let chunk = job.next.fetch_add(1, Ordering::SeqCst);
+            if chunk >= job.num_chunks {
+                break;
+            }
+            job.run_chunk(chunk, true, &shared.stats);
+        }
+    }
+}
+
+/// Block until the queue has a job with unclaimed chunks, popping
+/// exhausted jobs off the front on the way.
+fn next_job(shared: &Shared) -> Arc<Job> {
+    let mut queue = lock(&shared.queue);
+    loop {
+        while queue
+            .front()
+            .is_some_and(|job| job.next.load(Ordering::SeqCst) >= job.num_chunks)
+        {
+            queue.pop_front();
+        }
+        if let Some(job) = queue.front() {
+            return Arc::clone(job);
+        }
+        let idle_from = Instant::now();
+        queue = shared
+            .work_available
+            .wait(queue)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        shared.stats.record_idle(idle_from.elapsed());
+    }
+}
+
+/// Raw slot-array pointer the chunk task writes results through.
+/// Chunk indices are claimed at most once, so writes are disjoint; the
+/// job latch sequences them before the submitting thread's reads.
+struct SlotWriter<T>(*mut T);
+
+impl<T> SlotWriter<T> {
+    /// Accessor rather than a public field so closures capture the
+    /// whole (Sync) wrapper, not the raw pointer inside it.
+    fn slot(&self, i: usize) -> *mut T {
+        // Safety note: callers stay in bounds; see `SlotWriter`.
+        self.0.wrapping_add(i)
+    }
+}
+
+// Safety: disjoint-index writes of `Send` values, ordered against the
+// reader by the job latch (see `SlotWriter`).
+unsafe impl<T: Send> Send for SlotWriter<T> {}
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+/// Evaluate `run_range` over the deterministic [`chunk_ranges`] of
+/// `0..len` — in parallel when the pool has more than one thread — and
+/// return the per-chunk results in chunk order.
+pub(crate) fn drive<R, F>(len: usize, run_range: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let ranges = chunk_ranges(len);
+    let pool = global();
+    if pool.size() == 1 || ranges.len() == 1 {
+        return ranges.into_iter().map(run_range).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    {
+        let writer = SlotWriter(slots.as_mut_ptr());
+        let task = |chunk: usize| {
+            let result = run_range(ranges[chunk].clone());
+            // Safety: see `SlotWriter`; `chunk < ranges.len()`.
+            unsafe { *writer.slot(chunk) = Some(result) };
+        };
+        pool.run(ranges.len(), &task);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("job latch opened with a chunk result missing"))
+        .collect()
+}
