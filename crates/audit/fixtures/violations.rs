@@ -2,7 +2,7 @@
 //! Self-test fixture: one deliberate violation of every audit rule,
 //! each tagged with a `//~ rule-id` marker the self-test matches
 //! exactly. Scoped as library code in a result-bearing crate, so all
-//! five rules apply. This file is never compiled — it only feeds the
+//! six rules apply. This file is never compiled — it only feeds the
 //! audit's own lexer.
 
 use std::collections::HashMap; //~ no-std-hash
@@ -36,6 +36,13 @@ fn instantiates_std_hash() {
     let _ = m;
 }
 
+fn badly_named_spans() {
+    let _a = span("outer"); //~ span-name
+    let _b = span("Graph.Build"); //~ span-name
+    let _c = span("graph."); //~ span-name
+    let _d = SpanRecord::synthetic("Phase 1", 3); //~ span-name
+}
+
 // --- negative space: none of the following may produce findings ---
 
 fn fine(x: Option<u32>, y: f64) -> u32 {
@@ -47,6 +54,8 @@ fn fine(x: Option<u32>, y: f64) -> u32 {
     let eps_ok = (y - 1.0).abs() < 1e-9; // epsilon comparison is fine
     let tree: BTreeMap<u32, u32> = BTreeMap::new(); // BTreeMap is the sanctioned map
     let set: HashSet<u32> = HashSet::new(); // bare name without std::collections:: path
+    let _good_span = span("area.verb"); // conforming span name is fine
+    let _dyn_span = span(s); // non-literal names are out of scope
     match (s.len(), r.len(), int_eq, eps_ok, tree.len(), set.len()) {
         (0, 0, true, true, 0, 0) => unreachable!("unreachable! is permitted policy"),
         _ => fallback,

@@ -26,8 +26,11 @@ pub enum TokenKind {
     Int,
     /// A floating-point literal (`1.0`, `1.`, `1e-6`, `2.5f32`).
     Float,
-    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`) — contents dropped.
-    Str,
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`), carrying its raw
+    /// inner text (escape sequences left verbatim). Rules never match
+    /// *inside* the payload accidentally — it only surfaces through
+    /// [`Token::str_lit`] for rules that ask, like the span-name check.
+    Str(String),
     /// A character literal (`'x'`, `'\n'`).
     Char,
     /// A lifetime (`'a`, `'static`).
@@ -66,10 +69,19 @@ impl Token {
     pub fn is_op(&self, op: &str) -> bool {
         matches!(&self.kind, TokenKind::Op(o) if *o == op)
     }
+
+    /// The raw inner text, if this token is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// Tokenize Rust source. Comments are skipped (line numbers still
-/// advance through them); string and char contents are discarded.
+/// advance through them); char contents are discarded, string contents
+/// ride on [`TokenKind::Str`].
 pub fn tokenize(source: &str) -> Vec<Token> {
     Lexer { chars: source.chars().collect(), pos: 0, line: 1, tokens: Vec::new() }.run()
 }
@@ -112,12 +124,12 @@ impl Lexer {
                 '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
                 '\'' => self.lex_quote(line),
                 '"' => {
-                    self.skip_string();
-                    self.push(TokenKind::Str, line);
+                    let text = self.lex_string();
+                    self.push(TokenKind::Str(text), line);
                 }
                 'r' | 'b' if self.is_string_prefix() => {
-                    self.skip_prefixed_string();
-                    self.push(TokenKind::Str, line);
+                    let text = self.lex_prefixed_string();
+                    self.push(TokenKind::Str(text), line);
                 }
                 c if c.is_alphabetic() || c == '_' => self.lex_ident(line),
                 c if c.is_ascii_digit() => self.lex_number(line),
@@ -220,8 +232,10 @@ impl Lexer {
         }
     }
 
-    /// Skip a raw/byte string starting at the `r`/`b` prefix.
-    fn skip_prefixed_string(&mut self) {
+    /// Consume a raw/byte string starting at the `r`/`b` prefix,
+    /// returning its inner text (empty for byte-char literals).
+    fn lex_prefixed_string(&mut self) -> String {
+        let mut text = String::new();
         let mut raw = false;
         // consume prefix letters
         while let Some(c) = self.peek(0) {
@@ -248,6 +262,8 @@ impl Lexer {
                 if c == '"' {
                     for i in 0..hashes {
                         if self.peek(i) != Some('#') {
+                            text.push('"');
+                            text.extend((0..i).map(|_| '#'));
                             continue 'outer;
                         }
                     }
@@ -256,9 +272,10 @@ impl Lexer {
                     }
                     break;
                 }
+                text.push(c);
             }
         } else if self.peek(0) == Some('\'') {
-            // byte char literal b'…'
+            // byte char literal b'…': no text worth carrying
             self.bump();
             while let Some(c) = self.bump() {
                 if c == '\\' {
@@ -268,20 +285,29 @@ impl Lexer {
                 }
             }
         } else {
-            self.skip_string();
+            text = self.lex_string();
         }
+        text
     }
 
-    /// Skip a normal `"…"` string starting at the opening quote.
-    fn skip_string(&mut self) {
+    /// Consume a normal `"…"` string starting at the opening quote,
+    /// returning the raw inner text (escapes left verbatim).
+    fn lex_string(&mut self) -> String {
+        let mut text = String::new();
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             if c == '\\' {
-                self.bump();
+                text.push(c);
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
             } else if c == '"' {
                 break;
+            } else {
+                text.push(c);
             }
         }
+        text
     }
 
     fn lex_ident(&mut self, line: usize) {
@@ -431,14 +457,18 @@ mod tests {
     fn strings_hide_their_contents() {
         let toks = tokenize(r#"let s = "unwrap() == 1.0"; x"#);
         assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
-        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.str_lit().is_some()).count(), 1);
+        assert_eq!(toks.iter().find_map(|t| t.str_lit()), Some("unwrap() == 1.0"));
         assert!(toks.iter().any(|t| t.is_ident("x")));
     }
 
     #[test]
     fn raw_and_byte_strings() {
         let toks = tokenize("r#\"has \"quotes\" and unwrap()\"# b\"bytes\" br#\"raw bytes\"# end");
-        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 3);
+        assert_eq!(toks.iter().filter(|t| t.str_lit().is_some()).count(), 3);
+        assert_eq!(toks[0].str_lit(), Some("has \"quotes\" and unwrap()"));
+        assert_eq!(toks[1].str_lit(), Some("bytes"));
+        assert_eq!(toks[2].str_lit(), Some("raw bytes"));
         assert!(toks.iter().any(|t| t.is_ident("end")));
         assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
     }

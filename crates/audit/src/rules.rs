@@ -13,6 +13,9 @@
 //! |               | through obs spans / `Stopwatch`                                 |
 //! | `no-print`    | no `println!`/`eprintln!`/`print!`/`eprint!` in library crates  |
 //! |               | — output routes through `graphner-obs`                          |
+//! | `span-name`   | literal names at `span("…")` / `SpanRecord::synthetic("…")`     |
+//! |               | follow the `area.verb` convention: two or more non-empty        |
+//! |               | dot-separated segments of `[a-z0-9_]`                           |
 //!
 //! Scope conventions (see [`FileScope`]): binary targets (`src/bin/`),
 //! integration tests, benches, and `#[cfg(test)]` regions are exempt
@@ -22,7 +25,9 @@
 //! (tests too: a test comparing against nondeterministic iteration is
 //! itself flaky). `unreachable!` is deliberately not flagged: it marks
 //! statically-evident dead branches, the sanctioned alternative to
-//! `unwrap` for match arms an invariant rules out.
+//! `unwrap` for match arms an invariant rules out. `span-name` also
+//! covers the bench crate's binaries: perfsuite's stage spans become
+//! `BENCH_pipeline.json` keys, the most rename-sensitive names of all.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -39,11 +44,19 @@ pub enum Rule {
     NoInstant,
     /// Direct `println!`/`eprintln!` family in library crates.
     NoPrint,
+    /// Span name literal not matching the `area.verb` convention.
+    SpanName,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 5] =
-    [Rule::NoUnwrap, Rule::NoFloatEq, Rule::NoStdHash, Rule::NoInstant, Rule::NoPrint];
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::NoUnwrap,
+    Rule::NoFloatEq,
+    Rule::NoStdHash,
+    Rule::NoInstant,
+    Rule::NoPrint,
+    Rule::SpanName,
+];
 
 impl Rule {
     /// The rule's stable string id (used in findings, the allowlist
@@ -55,6 +68,7 @@ impl Rule {
             Rule::NoStdHash => "no-std-hash",
             Rule::NoInstant => "no-instant",
             Rule::NoPrint => "no-print",
+            Rule::SpanName => "span-name",
         }
     }
 
@@ -227,6 +241,24 @@ fn skip_attribute(tokens: &[Token], i: usize) -> usize {
     j
 }
 
+/// Whether a span name follows the `area.verb` convention: at least
+/// two non-empty dot-separated segments of `[a-z0-9_]`. Stable names
+/// in this shape group cleanly in trace viewers and survive renames of
+/// surrounding code; anything ad-hoc (`"outer"`, `"Phase 1"`) breaks
+/// the `BENCH_pipeline.json` stage keys derived from them.
+fn valid_span_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
 /// Index of the `}` matching the `{` at `open` (or the last token).
 fn matching_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
@@ -265,6 +297,12 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
     let print_applies = scope.library_rules_apply(&PRINT_EXEMPT_CRATES);
     let instant_applies = !INSTANT_EXEMPT_CRATES.contains(&scope.crate_name.as_str());
     let hash_applies = RESULT_BEARING_CRATES.contains(&scope.crate_name.as_str());
+    // span names feed trace exports and perf-gate stage keys, so the
+    // rule covers library code everywhere plus the bench crate's
+    // binaries (perfsuite's stage spans become BENCH_pipeline.json
+    // keys). Test code is exempt — throwaway names like "outer" are
+    // idiomatic when exercising the span registry itself.
+    let span_applies = !scope.is_binary || scope.crate_name == "bench";
 
     for (i, tok) in tokens.iter().enumerate() {
         let test_code = in_test(i);
@@ -345,6 +383,25 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
                     && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
                 {
                     findings.push(finding(Rule::NoPrint, tok.line, format!("{name}!")));
+                }
+            }
+        }
+
+        // span-name: literal first argument of `span(` / `synthetic(`
+        if span_applies && !test_code {
+            if let Some(name) = tok.ident() {
+                if matches!(name, "span" | "synthetic")
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    if let Some(lit) = tokens.get(i + 2).and_then(|t| t.str_lit()) {
+                        if !valid_span_name(lit) {
+                            findings.push(finding(
+                                Rule::SpanName,
+                                tok.line,
+                                format!("span name \"{lit}\" is not `area.verb` shaped"),
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -465,6 +522,36 @@ mod tests {
         assert!(rules_at("crates/bench/src/harness.rs", src).is_empty());
         assert!(rules_at("crates/bench/src/bin/table1.rs", src).is_empty());
         assert!(rules_at("crates/obs/src/logger.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_names_must_be_dot_separated_lowercase() {
+        let src = "fn f() {\n let _a = span(\"outer\");\n let _b = span(\"Graph.Build\");\n let _c = span(\"graph.\");\n let _d = SpanRecord::synthetic(\"Phase 1\", 3);\n}";
+        let found = rules_at("crates/core/src/a.rs", src);
+        assert_eq!(
+            found,
+            vec![
+                (Rule::SpanName, 2),
+                (Rule::SpanName, 3),
+                (Rule::SpanName, 4),
+                (Rule::SpanName, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn conforming_and_dynamic_span_names_pass() {
+        let src = "fn f(n: &str) {\n let _a = span(\"graph.knn\");\n let _b = span(\"serve.tag_batch\");\n let _c = span(\"a.b2.c_d\");\n let _d = span(n);\n let _e = other_span(\"X\");\n}";
+        assert!(rules_at("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_name_scope_covers_bench_bins_but_not_tests() {
+        let src = "fn f() { let _s = span(\"bad\"); }";
+        assert_eq!(rules_at("crates/bench/src/bin/perfsuite.rs", src), vec![(Rule::SpanName, 1)]);
+        assert!(rules_at("crates/obs/tests/rayon_spans.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { span(\"outer\"); } }";
+        assert!(rules_at("crates/obs/src/span.rs", test_src).is_empty());
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct RunOptions {
     /// Write the global metric registry as JSONL to this path on
     /// [`finish`].
     pub metrics_out: Option<String>,
+    /// Write the run's span tree as Chrome-trace JSON (openable in
+    /// Perfetto) to this path on [`finish`].
+    pub trace_out: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -33,13 +36,15 @@ impl Default for RunOptions {
             order: Order::One,
             seeds: 3,
             metrics_out: None,
+            trace_out: None,
         }
     }
 }
 
 impl RunOptions {
     /// Parse `--full`, `--scale <f>`, `--with-neural`, `--order2`,
-    /// `--seeds <n>`, `--metrics-out <path>` from `std::env::args`.
+    /// `--seeds <n>`, `--metrics-out <path>`, `--trace-out <path>`
+    /// from `std::env::args`.
     pub fn from_args() -> RunOptions {
         let mut opts = RunOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -61,6 +66,10 @@ impl RunOptions {
                     i += 1;
                     opts.metrics_out =
                         Some(args.get(i).expect("--metrics-out needs a path").clone());
+                }
+                "--trace-out" => {
+                    i += 1;
+                    opts.trace_out = Some(args.get(i).expect("--trace-out needs a path").clone());
                 }
                 other => panic!("unknown argument {other}"),
             }
@@ -112,15 +121,24 @@ pub fn publish_pool_metrics() {
 }
 
 /// End-of-run observability flush, called last by every experiment
-/// binary: publishes the worker-pool counters and writes the
-/// accumulated global metrics as JSONL when `--metrics-out <path>` was
-/// given.
+/// binary: publishes the worker-pool counters, writes the accumulated
+/// global metrics as JSONL when `--metrics-out <path>` was given, and
+/// exports the run's span tree as Chrome-trace JSON when
+/// `--trace-out <path>` was given (clock selected by
+/// `GRAPHNER_TRACE_CLOCK`; open the file in Perfetto).
 pub fn finish(opts: &RunOptions) {
     if let Some(path) = &opts.metrics_out {
         publish_pool_metrics();
         let jsonl = graphner_obs::Registry::global().export_jsonl();
         std::fs::write(path, jsonl).expect("write --metrics-out file");
         obs_summary!("metrics written to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let spans = graphner_obs::span::drain();
+        let clock = graphner_obs::TraceClock::from_env();
+        let json = graphner_obs::chrome_trace_json(&spans, clock);
+        std::fs::write(path, json).expect("write --trace-out file");
+        obs_summary!("trace ({} spans) written to {path}", spans.len());
     }
 }
 

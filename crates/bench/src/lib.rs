@@ -10,5 +10,6 @@
 //! for anything in between.
 
 pub mod harness;
+pub mod perf;
 
 pub use harness::*;

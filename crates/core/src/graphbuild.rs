@@ -124,10 +124,14 @@ pub fn build_vertex_vectors(
                 }
             }
         }
+        graphner_obs::attr("graph.vertices", interner.len());
+        graphner_obs::attr("graph.features", feature_vocab.len());
     }
     graphner_obs::counter("graph.features").add(feature_vocab.len() as u64);
     let _s = span("graph.pmi");
     let vectors = counts.pmi_vectors(interner.len());
+    let nnz: u64 = vectors.iter().map(|v| v.entries().len() as u64).sum();
+    graphner_obs::attr("pmi.nnz", nnz);
     check::assert_finite_sparse("PMI vertex vectors (GraphStage)", &vectors);
     vectors
 }
@@ -136,6 +140,7 @@ pub fn build_vertex_vectors(
 pub fn knn_from_vectors(vectors: &[graphner_graph::SparseVec], k: usize) -> KnnGraph {
     let graph = {
         let _s = span("graph.knn");
+        graphner_obs::attr("knn.k", k);
         knn_inverted_index(vectors, k)
     };
     check::assert_edge_weights_symmetric("k-NN graph (GraphStage)", &graph);

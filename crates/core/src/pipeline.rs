@@ -37,7 +37,7 @@ use crate::timings::{stage, TestTimings};
 use graphner_banner::NerModel;
 use graphner_crf::viterbi_tags;
 use graphner_graph::{propagate, KnnGraph, LabelDist, SparseVec, UNIFORM};
-use graphner_obs::{obs_summary, span, with_capture};
+use graphner_obs::{attr, obs_summary, span, with_capture};
 use graphner_text::{BioTag, Corpus, Sentence, Tagger, TrigramInterner, NUM_TAGS};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
@@ -287,6 +287,7 @@ impl<'a> TestSession<'a> {
     fn ensure_posteriors(&mut self) {
         if self.posteriors.is_none() {
             let _s = span(stage::POSTERIORS);
+            attr("corpus.sentences", self.model.train_corpus.len() + self.test.len());
             self.posteriors = Some(PosteriorStage::run(self.model, self.test));
         }
     }
@@ -304,6 +305,9 @@ impl<'a> TestSession<'a> {
             self.vectors.insert(fs_key, v);
         }
         let graph = GraphStage::connect(&self.vectors[&fs_key], k);
+        attr("graph.vertices", graph.num_vertices());
+        attr("graph.edges", graph.num_edges());
+        attr("graph.k", k);
         self.graphs.insert((fs_key, k), graph);
     }
 
@@ -312,6 +316,7 @@ impl<'a> TestSession<'a> {
     fn ensure_averaged(&mut self) {
         if self.averaged.is_none() {
             let _s = span(stage::AVERAGE);
+            attr("average.vertices", self.interner.len());
             let Some(posteriors) = self.posteriors.as_ref() else {
                 unreachable!("callers run ensure_posteriors before ensure_averaged")
             };
@@ -361,6 +366,7 @@ impl<'a> TestSession<'a> {
             let test_posteriors = posteriors.test();
             let predictions = {
                 let _s = span(stage::DECODE);
+                attr("decode.sentences", self.test.len());
                 DecodeStage::run(
                     self.test,
                     test_posteriors,
@@ -468,8 +474,21 @@ impl Tagger for GraphTagger {
     /// Sentences are independent at serving time, so the batch path
     /// fans out over the worker pool; order-preserving collection
     /// keeps the result identical to sentence-by-sentence prediction.
+    ///
+    /// The call records a `serve.tag_batch` span carrying the batch
+    /// size and the pool-counter advance it caused, so batch traces
+    /// show how much of the work the workers actually absorbed.
     fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
-        sentences.par_iter().map(|s| self.predict(s)).collect()
+        let _s = span("serve.tag_batch");
+        attr("batch.sentences", sentences.len());
+        let before = rayon::pool_stats();
+        let out: Vec<Vec<BioTag>> = sentences.par_iter().map(|s| self.predict(s)).collect();
+        let delta = rayon::pool_stats().delta(&before);
+        attr("pool.threads", delta.threads);
+        attr("pool.jobs", delta.jobs_submitted);
+        attr("pool.chunks", delta.chunks_executed);
+        attr("pool.chunks_on_workers", delta.chunks_on_workers);
+        out
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::lbfgs::{self, LbfgsConfig, StopReason};
 use crate::model::{ChainCrf, SentenceFeatures};
-use graphner_obs::obs_summary;
+use graphner_obs::{attr, obs_summary, span};
 use graphner_text::exactly_zero;
 use rayon::prelude::*;
 
@@ -167,6 +167,9 @@ impl ChainCrf {
             data.iter().all(|s| s.gold.is_some()),
             "all training sentences must carry gold tags"
         );
+        let _s = span("crf.train");
+        attr("train.sentences", data.len());
+        attr("train.params", self.num_params());
         let mut scratch = self.clone();
         let x0 = self.params().to_vec();
         let lcfg = LbfgsConfig {
@@ -185,6 +188,8 @@ impl ChainCrf {
             &lcfg,
         );
         self.set_params(result.x);
+        attr("train.iterations", result.iterations);
+        attr("train.objective", result.fx);
         obs_summary!(
             "crf train: {} sentences, {} iterations, objective {:.6e}, stopped: {:?}",
             data.len(),

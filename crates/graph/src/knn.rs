@@ -49,6 +49,10 @@ fn record_build_metrics(method: &str, adj: &[Vec<(u32, f32)>], candidate_pairs: 
     for row in adj {
         degree.record(row.len() as f64);
     }
+    // trace attributes for whatever build span is open at the caller
+    graphner_obs::attr("knn.vertices", adj.len());
+    graphner_obs::attr("knn.edges", edges);
+    graphner_obs::attr("knn.candidate_pairs", candidate_pairs);
     obs_summary!(
         "knn[{method}]: {} vertices, {edges} edges kept of {candidate_pairs} candidate pairs \
          ({} pruned)",

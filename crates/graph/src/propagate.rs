@@ -183,6 +183,10 @@ pub fn propagate(
     };
     graphner_obs::counter("propagate.sweeps").add(report.iterations as u64);
     graphner_obs::histogram("propagate.final_residual").record(report.final_residual);
+    // trace attributes for whatever stage span is open at the caller
+    graphner_obs::attr("propagate.vertices", n as u64);
+    graphner_obs::attr("propagate.sweeps", report.iterations as u64);
+    graphner_obs::attr("propagate.residual", report.final_residual);
     obs_summary!(
         "propagate: {} vertices, {} sweeps, final residual {:.3e}, converged={}",
         n,

@@ -1,0 +1,58 @@
+//! Minimal JSON *encoding* helpers shared by the metric registry and
+//! the trace exporter. Encoding only — the crate never parses JSON.
+
+/// JSON string literal with the escapes RFC 8259 requires.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A float as a JSON number (`null` when non-finite).
+pub(crate) fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        // shortest round-trip representation; always contains enough
+        // info to reparse exactly
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An optional float as a JSON number.
+pub(crate) fn json_opt_number(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_number(v),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_null_when_non_finite() {
+        assert_eq!(json_number(2.5), "2.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_opt_number(None), "null");
+    }
+}

@@ -16,19 +16,38 @@
 //!   `summary`). Output goes to **stderr** so machine-readable stdout
 //!   (the bench tables) stays clean at every level.
 //!
+//! Two further modules build on the span pillar:
+//!
+//! * [`trace`] — lowers captured spans (with their typed [`AttrValue`]
+//!   attributes, attached via [`attr`]) to Chrome Trace Event Format
+//!   JSON that Perfetto opens directly; a deterministic logical clock
+//!   makes identical runs export byte-identical traces.
+//! * [`alloc`] — a counting global allocator behind the `obs-alloc`
+//!   cargo feature; when enabled, span guards attach `mem.net_bytes`
+//!   and `mem.peak_bytes` to their records, and `current_bytes`/
+//!   `peak_bytes`/`reset_peak` expose process-wide heap registers.
+//!
 //! The layer is hand-rolled rather than built on `tracing` +
 //! `metrics`-style crates deliberately: the repo builds fully offline
 //! against in-repo stand-ins, and the pipeline needs only a narrow
 //! slice of that machinery. See DESIGN.md ("Observability") for the
 //! trade-off discussion.
 
+pub mod alloc;
+pub(crate) mod json;
 pub mod logger;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use logger::{level, set_level, Level};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry};
-pub use span::{span, with_capture, SpanGuard, SpanRecord, Stopwatch};
+pub use span::{
+    attr, span, with_capture, with_capture_all, AttrValue, SpanGuard, SpanRecord, Stopwatch,
+};
+pub use trace::{
+    chrome_trace_json, trace_events, TraceClock, TraceEvent, TracePhase, TRACE_CLOCK_ENV,
+};
 
 /// Lock a mutex, recovering the data if a panicking thread poisoned
 /// it. Every mutex in this crate guards plain bookkeeping state

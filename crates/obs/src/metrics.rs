@@ -10,6 +10,7 @@
 //! per line, both with metrics sorted by name so output is stable and
 //! diffable. Non-finite floats export as `null` to stay valid JSON.
 
+use crate::json::{json_number, json_opt_number, json_string};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -172,45 +173,61 @@ impl Histogram {
         data.max.is_finite().then_some(data.max)
     }
 
-    /// Approximate `q`-quantile (`0.0 ..= 1.0`), or `None` if empty.
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`). Total — every input
+    /// has a defined answer:
     ///
-    /// The answer is the geometric midpoint of the bucket holding the
-    /// rank-`⌈q·count⌉` observation, clamped to the exact observed
-    /// `[min, max]`, so the relative error is bounded by the bucket
-    /// width (one eighth of a decade, ~15% from midpoint to edge).
-    pub fn quantile(&self, q: f64) -> Option<f64> {
+    /// * empty histogram (or one that has seen only non-finite
+    ///   values) → `0.0`;
+    /// * all recorded finite values equal (the single-sample case in
+    ///   particular) → exactly that value, never a bucket midpoint;
+    /// * otherwise the geometric midpoint of the bucket holding the
+    ///   rank-`⌈q·count⌉` observation, clamped to the exact observed
+    ///   `[min, max]`, so the relative error is bounded by the bucket
+    ///   width (one eighth of a decade, ~15% from midpoint to edge).
+    ///
+    /// Monotone by construction: the rank is nondecreasing in `q`, the
+    /// bucket scan returns nondecreasing midpoints over ranks, and the
+    /// final clamp applies fixed bounds — so `q1 <= q2` implies
+    /// `quantile(q1) <= quantile(q2)` on any histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
         let data = crate::acquire(&self.data);
-        if data.count == 0 {
-            return None;
+        if data.count == 0 || data.min > data.max {
+            // empty, or no finite observation ever landed: a defined
+            // floor beats a NaN-poisoned readout downstream
+            return 0.0;
+        }
+        if data.min == data.max {
+            // one distinct finite value — report it exactly
+            return data.min;
         }
         let clamp = |v: f64| v.clamp(data.min, data.max);
         let rank = ((q.clamp(0.0, 1.0) * data.count as f64).ceil() as u64).max(1);
         let mut seen = data.underflow;
         if rank <= seen {
-            return Some(clamp(FIRST_EDGE));
+            return clamp(FIRST_EDGE);
         }
         for (i, &n) in data.buckets.iter().enumerate() {
             seen += n;
             if rank <= seen {
                 let (lower, upper) = bucket_edges(i);
-                return Some(clamp((lower * upper).sqrt()));
+                return clamp((lower * upper).sqrt());
             }
         }
-        Some(clamp(data.max))
+        clamp(data.max)
     }
 
     /// Median.
-    pub fn p50(&self) -> Option<f64> {
+    pub fn p50(&self) -> f64 {
         self.quantile(0.50)
     }
 
     /// 95th percentile.
-    pub fn p95(&self) -> Option<f64> {
+    pub fn p95(&self) -> f64 {
         self.quantile(0.95)
     }
 
     /// 99th percentile.
-    pub fn p99(&self) -> Option<f64> {
+    pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
 }
@@ -284,9 +301,9 @@ impl Registry {
                 json_number(h.sum()),
                 json_opt_number(h.min()),
                 json_opt_number(h.max()),
-                json_opt_number(h.p50()),
-                json_opt_number(h.p95()),
-                json_opt_number(h.p99()),
+                json_number(h.p50()),
+                json_number(h.p95()),
+                json_number(h.p99()),
             ));
         }
         out
@@ -314,44 +331,6 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 /// The global histogram named `name`.
 pub fn histogram(name: &str) -> Arc<Histogram> {
     Registry::global().histogram(name)
-}
-
-/// JSON string literal with the escapes RFC 8259 requires.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// A float as a JSON number (`null` when non-finite).
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        // shortest round-trip representation; always contains enough
-        // info to reparse exactly
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// An optional float as a JSON number.
-fn json_opt_number(v: Option<f64>) -> String {
-    match v {
-        Some(v) => json_number(v),
-        None => "null".to_string(),
-    }
 }
 
 #[cfg(test)]
@@ -390,7 +369,7 @@ mod tests {
         for q in [0.5, 0.95, 0.99] {
             let oracle =
                 values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
-            let estimate = h.quantile(q).unwrap();
+            let estimate = h.quantile(q);
             let ratio = estimate / oracle;
             // one log-scale bucket is a factor 10^(1/8) ≈ 1.33 wide;
             // midpoint estimate must land within ~±1 bucket of truth
@@ -402,8 +381,28 @@ mod tests {
         assert_eq!(h.count(), 5000);
         let min = h.min().unwrap();
         let max = h.max().unwrap();
-        assert!(h.quantile(0.0).unwrap() >= min);
-        assert!(h.quantile(1.0).unwrap() <= max);
+        assert!(h.quantile(0.0) >= min);
+        assert!(h.quantile(1.0) <= max);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::default();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            h.record(10f64.powf(-8.0 + 12.0 * u));
+        }
+        let mut last = f64::NEG_INFINITY;
+        for step in 0..=100 {
+            let q = step as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} dropped below {last}");
+            last = v;
+        }
     }
 
     #[test]
@@ -417,18 +416,33 @@ mod tests {
         assert!((h.min().unwrap() + 3.0).abs() < 1e-15);
         assert!((h.max().unwrap() - 1e12).abs() < 1e-3);
         // median falls among the 2.0 observations
-        let p50 = h.p50().unwrap();
+        let p50 = h.p50();
         assert!((1.5..3.0).contains(&p50), "p50 {p50}");
-        assert!(h.quantile(1.0).unwrap() <= 1e12);
+        assert!(h.quantile(1.0) <= 1e12);
     }
 
     #[test]
-    fn empty_histogram_has_no_quantiles() {
+    fn empty_histogram_quantiles_are_zero() {
         let h = Histogram::default();
         assert_eq!(h.count(), 0);
-        assert!(h.quantile(0.5).is_none());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
         assert!(h.min().is_none());
         assert!(h.max().is_none());
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let h = Histogram::default();
+        h.record(3.7);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.7, "q={q} must be the sample, not a bucket midpoint");
+        }
+        // repeated identical samples are equally exact
+        h.record_many(3.7, 99);
+        assert_eq!(h.p50(), 3.7);
+        assert_eq!(h.p99(), 3.7);
     }
 
     #[test]

@@ -115,6 +115,55 @@ fn thread_count_invariance_byte_identical_across_pool_sizes() {
     assert_eq!(dumps[0], dumps[1], "pipeline outputs must be byte-identical at 1 and 4 threads");
 }
 
+/// Child half of the trace byte-identity check: run train + test under
+/// the environment the parent sets (single-thread pool, logical trace
+/// clock), export the whole span registry as Chrome-trace JSON, and
+/// write it to `GRAPHNER_DUMP_PATH`.
+#[test]
+#[ignore = "spawned as a subprocess by logical_clock_trace_is_byte_identical"]
+fn dump_logical_trace() {
+    let path = std::env::var("GRAPHNER_DUMP_PATH")
+        .expect("GRAPHNER_DUMP_PATH must be set when running the trace dump half");
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let unlabelled = corpus.test.without_tags();
+    let _ = TestSession::new(&model, &unlabelled).run(model.config());
+    let spans = graphner::obs::span::drain();
+    assert!(!spans.is_empty(), "pipeline run must leave spans in the registry");
+    let json = graphner::obs::chrome_trace_json(&spans, graphner::obs::TraceClock::from_env());
+    std::fs::write(&path, json).expect("write trace dump");
+}
+
+/// With `GRAPHNER_TRACE_CLOCK=logical` timestamps are registry sequence
+/// numbers instead of wall-clock reads, and `GRAPHNER_THREADS=1` pins
+/// span ordering, so two identical runs must serialize byte-identical
+/// trace documents — the trace export adds no nondeterminism of its
+/// own. (Training weight bits are themselves deterministic at a fixed
+/// thread count, per the thread-invariance test above.)
+#[test]
+fn logical_clock_trace_is_byte_identical_across_runs() {
+    let exe = std::env::current_exe().expect("test executable path");
+    let mut dumps = Vec::new();
+    for run in 0..2 {
+        let path =
+            std::env::temp_dir().join(format!("graphner-trace-{}-r{run}.json", std::process::id()));
+        let status = std::process::Command::new(&exe)
+            .args(["dump_logical_trace", "--exact", "--ignored", "--test-threads", "1"])
+            .env("GRAPHNER_THREADS", "1")
+            .env("GRAPHNER_TRACE_CLOCK", "logical")
+            .env("GRAPHNER_DUMP_PATH", &path)
+            .status()
+            .expect("spawn trace dump subprocess");
+        assert!(status.success(), "trace dump subprocess failed on run {run}");
+        let dump = std::fs::read_to_string(&path).expect("read trace dump");
+        let _ = std::fs::remove_file(&path);
+        assert!(dump.contains("\"traceEvents\""), "run {run} produced no trace document");
+        assert!(dump.contains("crf.train"), "run {run} trace is missing the training span");
+        dumps.push(dump);
+    }
+    assert_eq!(dumps[0], dumps[1], "logical-clock traces must be byte-identical across runs");
+}
+
 #[test]
 fn ablation_sweep_rows_are_reproducible() {
     let corpus = generate(&CorpusProfile::aml().scaled(0.02));

@@ -209,3 +209,83 @@ proptest! {
         prop_assert!((va.cosine(&va) - 1.0).abs() < 1e-5);
     }
 }
+
+/// A randomly-shaped span tree: each node is one span guard whose
+/// children open and close strictly inside it.
+#[derive(Clone, Debug)]
+struct SpanTree(Vec<SpanTree>);
+
+/// Decode a walk into a tree: each op either descends into a fresh
+/// child (non-zero) or climbs back up one level (zero). Any op vector
+/// maps to a valid tree, so the strategy space needs no filtering.
+fn span_tree_from_walk(ops: &[usize]) -> SpanTree {
+    fn insert(node: &mut SpanTree, path: &[usize]) -> usize {
+        match path.split_first() {
+            None => {
+                node.0.push(SpanTree(Vec::new()));
+                node.0.len() - 1
+            }
+            Some((&head, rest)) => insert(&mut node.0[head], rest),
+        }
+    }
+    let mut root = SpanTree(Vec::new());
+    let mut path: Vec<usize> = Vec::new();
+    for &op in ops {
+        if op == 0 {
+            path.pop();
+        } else {
+            let idx = insert(&mut root, &path);
+            if path.len() < 6 {
+                path.push(idx);
+            }
+        }
+    }
+    root
+}
+
+/// Open one span per tree node, recursively. Span names must be
+/// `&'static str`, so nodes draw from a fixed pool keyed by depth and
+/// sibling index.
+fn run_span_tree(tree: &SpanTree, depth: usize, sibling: usize) {
+    const NAMES: [&str; 5] = ["prop.root", "prop.left", "prop.mid", "prop.right", "prop.deep"];
+    let _guard = graphner::obs::span(NAMES[(depth + sibling) % NAMES.len()]);
+    for (i, child) in tree.0.iter().enumerate() {
+        run_span_tree(child, depth + 1, i);
+    }
+}
+
+proptest! {
+    /// The trace export of any span tree is a balanced, properly
+    /// nested event stream under both clocks: every `End` closes the
+    /// most recent open `Begin` of the same name, nothing stays open,
+    /// and the logical clock gives every event a distinct timestamp
+    /// that agrees with the global sequence order.
+    #[test]
+    fn trace_events_nest_properly_over_random_span_trees(
+        ops in prop::collection::vec(0usize..4, 1..48),
+    ) {
+        use graphner::obs::{trace_events, with_capture, TraceClock, TracePhase};
+        let tree = span_tree_from_walk(&ops);
+        let ((), spans) = with_capture(|| run_span_tree(&tree, 0, 0));
+        prop_assert!(!spans.is_empty());
+        for clock in [TraceClock::Wall, TraceClock::Logical] {
+            let events = trace_events(&spans, clock);
+            prop_assert_eq!(events.len(), spans.len() * 2);
+            let mut open: Vec<&str> = Vec::new();
+            for e in &events {
+                match e.phase {
+                    TracePhase::Begin => open.push(e.name),
+                    TracePhase::End => prop_assert_eq!(open.pop(), Some(e.name)),
+                }
+            }
+            prop_assert!(open.is_empty(), "unclosed spans: {:?}", open);
+            // events come out in global sequence order…
+            prop_assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+            if clock == TraceClock::Logical {
+                // …and the logical clock is that order, rebased to zero
+                prop_assert_eq!(events[0].ts, 0);
+                prop_assert!(events.windows(2).all(|w| w[0].ts < w[1].ts));
+            }
+        }
+    }
+}

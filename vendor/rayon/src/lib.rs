@@ -664,6 +664,21 @@ mod tests {
     }
 
     #[test]
+    fn pool_stats_delta_brackets_a_job() {
+        let before = crate::pool_stats();
+        let _: u64 = (0..512u64).into_par_iter().map(|i| i).sum();
+        let after = crate::pool_stats();
+        let d = after.delta(&before);
+        assert!(d.jobs_submitted >= 1);
+        assert!(d.chunks_executed >= 1);
+        assert_eq!(d.threads, after.threads);
+        // swapped operands saturate to zero instead of wrapping
+        let swapped = before.delta(&after);
+        assert_eq!(swapped.jobs_submitted, 0);
+        assert_eq!(swapped.chunks_executed, 0);
+    }
+
+    #[test]
     fn chunk_ranges_partition_in_order() {
         for len in [0usize, 1, 2, 63, 64, 65, 1000] {
             let ranges = crate::chunk_ranges(len);

@@ -171,6 +171,28 @@ pub struct PoolStats {
     pub idle_waits: [u64; IDLE_BUCKETS],
 }
 
+impl PoolStats {
+    /// Counter advance from `earlier` to `self` (same `threads`).
+    /// Lets callers attribute pool activity to one bracketed region:
+    /// snapshot before, snapshot after, diff. Saturating, so a stale
+    /// or swapped pair reads as zeros rather than wrapping.
+    pub fn delta(&self, earlier: &PoolStats) -> PoolStats {
+        let mut idle_waits = [0u64; IDLE_BUCKETS];
+        for (out, (now, then)) in
+            idle_waits.iter_mut().zip(self.idle_waits.iter().zip(&earlier.idle_waits))
+        {
+            *out = now.saturating_sub(*then);
+        }
+        PoolStats {
+            threads: self.threads,
+            jobs_submitted: self.jobs_submitted.saturating_sub(earlier.jobs_submitted),
+            chunks_executed: self.chunks_executed.saturating_sub(earlier.chunks_executed),
+            chunks_on_workers: self.chunks_on_workers.saturating_sub(earlier.chunks_on_workers),
+            idle_waits,
+        }
+    }
+}
+
 /// Snapshot the global pool's configuration and counters. Initializes
 /// the pool if no parallel work has run yet.
 pub fn pool_stats() -> PoolStats {
