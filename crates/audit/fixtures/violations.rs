@@ -41,6 +41,7 @@ fn badly_named_spans() {
     let _b = span("Graph.Build"); //~ span-name
     let _c = span("graph."); //~ span-name
     let _d = SpanRecord::synthetic("Phase 1", 3); //~ span-name
+    let _e = span("propagate.Shards"); //~ span-name
 }
 
 // --- negative space: none of the following may produce findings ---
@@ -55,6 +56,7 @@ fn fine(x: Option<u32>, y: f64) -> u32 {
     let tree: BTreeMap<u32, u32> = BTreeMap::new(); // BTreeMap is the sanctioned map
     let set: HashSet<u32> = HashSet::new(); // bare name without std::collections:: path
     let _good_span = span("area.verb"); // conforming span name is fine
+    let _shard_span = span("propagate.sweep"); // sharded-engine names conform too
     let _dyn_span = span(s); // non-literal names are out of scope
     match (s.len(), r.len(), int_eq, eps_ok, tree.len(), set.len()) {
         (0, 0, true, true, 0, 0) => unreachable!("unreachable! is permitted policy"),

@@ -4,11 +4,16 @@
 //!
 //! * `perf.pmi_build` — PMI vertex-vector construction,
 //! * `perf.knn_build` — cosine k-NN graph connection,
-//! * `perf.propagate` — Jacobi propagation sweeps,
+//! * `perf.propagate` — sharded Jacobi propagation sweeps (partition
+//!   prebuilt, as the pipeline caches it),
 //! * `perf.viterbi_decode` — belief interpolation + Viterbi decode,
 //! * `perf.tag_batch_t1` / `perf.tag_batch_t4` — serving-path batch
 //!   throughput at 1 and 4 worker threads (measured in re-exec'd
-//!   subprocesses, because the pool reads `GRAPHNER_THREADS` once).
+//!   subprocesses, because the pool reads `GRAPHNER_THREADS` once),
+//! * `perf.propagate_sharded_t1` / `perf.propagate_sharded_t4` — the
+//!   sharded sweep engine on a 150k-vertex synthetic graph
+//!   ([`graphner_bench::synth`]) at 1 and 4 worker threads, also via
+//!   subprocess re-exec.
 //!
 //! Each stage reports median-of-N wall-clock seconds, peak heap (with
 //! the `obs-alloc` feature), peak RSS advance (`VmHWM`), and the pool
@@ -18,13 +23,26 @@
 //! DESIGN.md §11.
 
 use graphner_bench::perf::{self, BenchReport, StageResult, DEFAULT_TOLERANCE, SCHEMA_VERSION};
+use graphner_bench::synth::synthetic_propagation;
 use graphner_bench::RunOptions;
 use graphner_core::pipeline::{AverageStage, DecodeStage, GraphStage, PosteriorStage};
 use graphner_core::{GraphNer, GraphNerConfig, TestSession};
 use graphner_corpusgen::{generate, CorpusProfile};
-use graphner_graph::propagate;
+use graphner_graph::{propagate_partitioned, Partition, ShardSize};
 use graphner_obs::{span, Stopwatch};
 use graphner_text::{Corpus, TrigramInterner};
+
+/// Vertex count of the synthetic graph behind the
+/// `perf.propagate_sharded_t*` stages — big enough that shard handoff
+/// and boundary traffic dominate, small enough to build in seconds.
+const SYNTH_VERTICES: usize = 150_000;
+/// Out-degree of the synthetic graph.
+const SYNTH_K: usize = 8;
+/// Jacobi sweeps per measured iteration on the synthetic graph.
+const SYNTH_SWEEPS: usize = 10;
+/// Seed for the synthetic workload; fixed so every subprocess times
+/// the identical graph.
+const SYNTH_SEED: u64 = 0x5EED_5EED;
 
 struct Args {
     scale: f64,
@@ -33,6 +51,7 @@ struct Args {
     check: Option<String>,
     trace_out: Option<String>,
     tag_batch_worker: bool,
+    propagate_worker: bool,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +62,7 @@ fn parse_args() -> Args {
         check: None,
         trace_out: None,
         tag_batch_worker: false,
+        propagate_worker: false,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -69,6 +89,7 @@ fn parse_args() -> Args {
                 parsed.trace_out = Some(args.get(i).expect("--trace-out needs a path").clone());
             }
             "--tag-batch-worker" => parsed.tag_batch_worker = true,
+            "--propagate-worker" => parsed.propagate_worker = true,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -139,16 +160,9 @@ fn setup(scale: f64) -> (GraphNer, Corpus) {
     (gner, corpus.test.without_tags())
 }
 
-/// Subprocess mode: time the serving batch path under this process's
-/// `GRAPHNER_THREADS`, print one machine-readable line, exit.
-fn run_tag_batch_worker(scale: f64, iters: usize) {
-    let (gner, test) = setup(scale);
-    let mut session = TestSession::new(&gner, &test);
-    let tagger = session.tagger(gner.config());
-    use graphner_text::Tagger as _;
-    let m = measure(iters, || {
-        std::hint::black_box(tagger.tag_batch(&test.sentences));
-    });
+/// Print the machine-readable result line a worker subprocess hands
+/// back to the parent.
+fn print_worker_line(m: &Measured) {
     println!(
         "perfsuite-worker median_seconds={} peak_alloc_bytes={} peak_rss_bytes={} \
          pool_threads={} pool_jobs={} pool_chunks={} pool_chunks_on_workers={}",
@@ -162,17 +176,57 @@ fn run_tag_batch_worker(scale: f64, iters: usize) {
     );
 }
 
-/// Re-exec this binary as a tag-batch worker pinned to `threads`.
-fn tag_batch_subprocess(scale: f64, iters: usize, threads: usize) -> StageResult {
+/// Subprocess mode: time the serving batch path under this process's
+/// `GRAPHNER_THREADS`, print one machine-readable line, exit.
+fn run_tag_batch_worker(scale: f64, iters: usize) {
+    let (gner, test) = setup(scale);
+    let mut session = TestSession::new(&gner, &test);
+    let tagger = session.tagger(gner.config());
+    use graphner_text::Tagger as _;
+    let m = measure(iters, || {
+        std::hint::black_box(tagger.tag_batch(&test.sentences));
+    });
+    print_worker_line(&m);
+}
+
+/// Subprocess mode: time the sharded propagation engine on the fixed
+/// synthetic workload under this process's `GRAPHNER_THREADS`.
+fn run_propagate_worker(iters: usize) {
+    let w = synthetic_propagation(SYNTH_VERTICES, SYNTH_K, SYNTH_SEED);
+    let partition = Partition::new(&w.graph, ShardSize::Auto);
+    let params = graphner_graph::PropagationParams {
+        iterations: SYNTH_SWEEPS,
+        ..graphner_graph::PropagationParams::default()
+    };
+    let mut x = w.x0.clone();
+    let m = measure(iters, || {
+        let _s = span("perf.propagate_sharded");
+        x.copy_from_slice(&w.x0);
+        std::hint::black_box(propagate_partitioned(
+            &w.graph, &partition, &mut x, &w.x_ref, &params, false,
+        ));
+    });
+    print_worker_line(&m);
+}
+
+/// Re-exec this binary as a worker (`flag` selects the mode) pinned to
+/// `threads`, returning its measurements as the stage `name`.
+fn worker_subprocess(
+    flag: &str,
+    name: String,
+    scale: f64,
+    iters: usize,
+    threads: usize,
+) -> StageResult {
     let exe = std::env::current_exe().expect("current_exe");
     let output = std::process::Command::new(exe)
-        .args(["--tag-batch-worker", "--scale", &scale.to_string(), "--iters", &iters.to_string()])
+        .args([flag, "--scale", &scale.to_string(), "--iters", &iters.to_string()])
         .env(rayon::THREADS_ENV, threads.to_string())
         .output()
-        .expect("spawn tag-batch worker");
+        .expect("spawn worker");
     assert!(
         output.status.success(),
-        "tag-batch worker (threads={threads}) failed:\n{}",
+        "worker {flag} (threads={threads}) failed:\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
@@ -185,7 +239,7 @@ fn tag_batch_subprocess(scale: f64, iters: usize, threads: usize) -> StageResult
             .unwrap_or_else(|| panic!("worker line missing {key}: {line}"))
     };
     StageResult {
-        name: format!("perf.tag_batch_t{threads}"),
+        name,
         median_seconds: field("median_seconds"),
         peak_alloc_bytes: field("peak_alloc_bytes") as u64,
         peak_rss_bytes: field("peak_rss_bytes") as u64,
@@ -200,6 +254,10 @@ fn main() {
     let args = parse_args();
     if args.tag_batch_worker {
         run_tag_batch_worker(args.scale, args.iters);
+        return;
+    }
+    if args.propagate_worker {
+        run_propagate_worker(args.iters);
         return;
     }
 
@@ -240,11 +298,21 @@ fn main() {
     let labelled = gner.num_labelled_vertices().min(x0.len());
     let x_ref: Vec<Option<graphner_graph::LabelDist>> =
         (0..x0.len()).map(|i| (i < labelled).then(|| x0[i])).collect();
+    // the pipeline caches its partition across runs, so prebuild it
+    // here too and time only the sweeps
+    let partition = Partition::new(&graph, cfg.schedule.shard_size);
     let mut x = x0.clone();
     let m = measure(args.iters, || {
         let _s = span("perf.propagate");
         x = x0.clone();
-        propagate(&graph, &mut x, &x_ref, &cfg.propagation);
+        propagate_partitioned(
+            &graph,
+            &partition,
+            &mut x,
+            &x_ref,
+            &cfg.propagation,
+            cfg.schedule.active_set,
+        );
     });
     stages.push(stage_result("perf.propagate", &m));
 
@@ -263,7 +331,22 @@ fn main() {
     stages.push(stage_result("perf.viterbi_decode", &m));
 
     for threads in [1usize, 4] {
-        stages.push(tag_batch_subprocess(args.scale, args.iters, threads));
+        stages.push(worker_subprocess(
+            "--tag-batch-worker",
+            format!("perf.tag_batch_t{threads}"),
+            args.scale,
+            args.iters,
+            threads,
+        ));
+    }
+    for threads in [1usize, 4] {
+        stages.push(worker_subprocess(
+            "--propagate-worker",
+            format!("perf.propagate_sharded_t{threads}"),
+            args.scale,
+            args.iters,
+            threads,
+        ));
     }
 
     let report = BenchReport {

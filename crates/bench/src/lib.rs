@@ -11,5 +11,6 @@
 
 pub mod harness;
 pub mod perf;
+pub mod synth;
 
 pub use harness::*;

@@ -1,0 +1,121 @@
+//! Deterministic synthetic propagation workloads.
+//!
+//! The propagation-at-scale benchmarks (`perfsuite`'s sharded
+//! propagate stages, the `shardsweep` bin) need graphs far larger than
+//! the scaled-down synthetic corpora produce, and they need the exact
+//! same graph in every process so subprocess measurements at different
+//! `GRAPHNER_THREADS` are comparable. This module builds one from a
+//! seeded LCG: a k-regular-out-degree directed graph with uniform
+//! random targets, random simplex beliefs, and every fourth vertex
+//! carrying a reference distribution.
+
+use graphner_graph::{KnnGraph, LabelDist};
+
+/// One ready-to-propagate synthetic workload.
+pub struct SynthPropagation {
+    /// The graph (out-degree `k` for every vertex).
+    pub graph: KnnGraph,
+    /// Initial beliefs, one simplex row per vertex.
+    pub x0: Vec<LabelDist>,
+    /// Reference distributions on every fourth vertex.
+    pub x_ref: Vec<Option<LabelDist>>,
+}
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants); the high 32 bits
+/// feed every draw.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u32(&mut self) -> u32 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 32) as u32
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    fn below(&mut self, bound: u32) -> u32 {
+        self.next_u32() % bound
+    }
+
+    /// Uniform draw in `(0, 1]`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.below(1_000_000) + 1) as f64 / 1_000_000.0
+    }
+}
+
+/// Build a synthetic propagation workload of `n` vertices with
+/// out-degree `k`, fully determined by `seed`.
+pub fn synthetic_propagation(n: usize, k: usize, seed: u64) -> SynthPropagation {
+    assert!(n >= 2, "need at least two vertices to draw distinct neighbours");
+    let mut rng = Lcg(seed);
+    let adj: Vec<Vec<(u32, f32)>> = (0..n as u32)
+        .map(|i| {
+            (0..k)
+                .map(|_| {
+                    let mut nb = rng.below(n as u32);
+                    if nb == i {
+                        nb = (nb + 1) % n as u32;
+                    }
+                    (nb, rng.unit_f64() as f32)
+                })
+                .collect()
+        })
+        .collect();
+    let graph = KnnGraph::from_adjacency(adj, k);
+    let x0: Vec<LabelDist> = (0..n)
+        .map(|_| {
+            let a = rng.unit_f64();
+            let b = rng.unit_f64();
+            let c = rng.unit_f64();
+            let z = a + b + c;
+            [a / z, b / z, c / z]
+        })
+        .collect();
+    let x_ref: Vec<Option<LabelDist>> = (0..n)
+        .map(|i| {
+            (i % 4 == 0).then(|| {
+                let a = 0.5 + rng.unit_f64() / 2.0;
+                let rest = (1.0 - a) / 2.0;
+                [a, rest, rest]
+            })
+        })
+        .collect();
+    SynthPropagation { graph, x0, x_ref }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = synthetic_propagation(500, 4, 7);
+        let b = synthetic_propagation(500, 4, 7);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for v in 0..500u32 {
+            assert_eq!(
+                a.graph.neighbors(v).collect::<Vec<_>>(),
+                b.graph.neighbors(v).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(a.x0, b.x0);
+        assert_eq!(a.x_ref, b.x_ref);
+    }
+
+    #[test]
+    fn workload_is_well_formed() {
+        let w = synthetic_propagation(1000, 8, 42);
+        assert_eq!(w.graph.num_vertices(), 1000);
+        assert_eq!(w.graph.num_edges(), 8000);
+        for row in &w.x0 {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        let labelled = w.x_ref.iter().filter(|r| r.is_some()).count();
+        assert_eq!(labelled, 250);
+        for r in w.x_ref.iter().flatten() {
+            let s: f64 = r.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(r[0] >= 0.5);
+        }
+    }
+}

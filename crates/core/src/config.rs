@@ -1,6 +1,6 @@
 //! GraphNER hyper-parameters (Table IV of the paper).
 
-use graphner_graph::PropagationParams;
+use graphner_graph::{PropagationParams, ShardSize, SweepSchedule};
 
 /// Vertex-representation choice for graph construction (Table III).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -79,6 +79,13 @@ pub struct GraphNerConfig {
     /// unboundedly; the cap plays the role L2 regularization plays for
     /// a trained CRF's transition potentials.
     pub trans_ratio_cap: f64,
+    /// How the sharded propagation engine schedules its sweeps: the
+    /// shard size and whether converged shards may be skipped
+    /// (active-set). A pure execution knob — the default (auto-sized
+    /// shards, no skipping) is byte-identical to the unsharded update,
+    /// and the schedule is deliberately *not* persisted with a trained
+    /// model: it describes how to run, not what was learned.
+    pub schedule: SweepSchedule,
 }
 
 impl Default for GraphNerConfig {
@@ -93,6 +100,7 @@ impl Default for GraphNerConfig {
             trans_power: 0.5,
             trans_add_k: 0.1,
             trans_ratio_cap: 3.0,
+            schedule: SweepSchedule::default(),
         }
     }
 }
@@ -131,6 +139,9 @@ pub enum ConfigError {
         /// The rejected value.
         value: f64,
     },
+    /// `shard_size = Fixed(0)`: a zero-vertex shard cannot tile the
+    /// vertex range.
+    ZeroShardSize,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -151,6 +162,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadTransitionConstant { name, value } => {
                 write!(f, "{name} must be finite, non-negative and usable, got {value}")
+            }
+            ConfigError::ZeroShardSize => {
+                write!(f, "shard_size must be >= 1 vertex (or ShardSize::Auto)")
             }
         }
     }
@@ -235,6 +249,21 @@ impl GraphNerConfigBuilder {
         self
     }
 
+    /// Vertices per propagation shard ([`ShardSize::Auto`] sizes from
+    /// the vertex count; `Fixed(0)` is rejected by `build`).
+    pub fn shard_size(mut self, shard_size: ShardSize) -> Self {
+        self.cfg.schedule.shard_size = shard_size;
+        self
+    }
+
+    /// Enable or disable active-set sweep scheduling (skipping shards
+    /// whose residual converged). `false` — the default — reproduces
+    /// the unsharded propagation output exactly.
+    pub fn active_set(mut self, active_set: bool) -> Self {
+        self.cfg.schedule.active_set = active_set;
+        self
+    }
+
     /// Validate the accumulated configuration.
     pub fn build(self) -> Result<GraphNerConfig, ConfigError> {
         let cfg = self.cfg;
@@ -266,6 +295,9 @@ impl GraphNerConfigBuilder {
                 name: "trans_ratio_cap",
                 value: cfg.trans_ratio_cap,
             });
+        }
+        if cfg.schedule.shard_size == ShardSize::Fixed(0) {
+            return Err(ConfigError::ZeroShardSize);
         }
         Ok(cfg)
     }
@@ -377,6 +409,27 @@ mod tests {
         );
         let nan = GraphNerConfig::builder().nu(f64::NAN).build();
         assert!(matches!(nan, Err(ConfigError::BadPropagationWeight { name: "nu", .. })));
+        assert_eq!(
+            GraphNerConfig::builder().shard_size(ShardSize::Fixed(0)).build(),
+            Err(ConfigError::ZeroShardSize)
+        );
+    }
+
+    #[test]
+    fn schedule_defaults_to_unsharded_semantics_and_accepts_overrides() {
+        let c = GraphNerConfig::default();
+        assert_eq!(c.schedule, SweepSchedule::default());
+        assert!(!c.schedule.active_set);
+        let tuned = GraphNerConfig::builder()
+            .shard_size(ShardSize::Fixed(4096))
+            .active_set(true)
+            .build()
+            .expect("valid schedule");
+        assert_eq!(tuned.schedule.shard_size, ShardSize::Fixed(4096));
+        assert!(tuned.schedule.active_set);
+        // the schedule is an execution knob: it never affects equality
+        // of the *learned* configuration fields
+        assert_eq!(tuned.alpha, c.alpha);
     }
 
     #[test]

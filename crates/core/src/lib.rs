@@ -36,7 +36,10 @@ pub mod stats;
 pub mod timings;
 
 pub use config::{ConfigError, GraphFeatureSet, GraphNerConfig, GraphNerConfigBuilder};
+// the propagation-schedule knobs carried on `GraphNerConfig`, re-exported
+// so builder users need not depend on graphner-graph directly
 pub use graphbuild::{build_graph, build_vertex_vectors, feature_tag_mi, knn_from_vectors};
+pub use graphner_graph::{ShardSize, SweepSchedule};
 pub use model::{annotations_from_predictions, GraphNer, TestOutput, TrainOutput};
 pub use persist::{load_model, save_model, PersistError};
 pub use pipeline::{GraphTagger, TestSession};

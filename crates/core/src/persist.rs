@@ -169,6 +169,10 @@ fn get_config<R: Read>(r: &mut R) -> Result<GraphNerConfig, PersistError> {
         trans_power: get_f64(r)?,
         trans_add_k: get_f64(r)?,
         trans_ratio_cap: get_f64(r)?,
+        // the sweep schedule is a runtime execution knob, not a learned
+        // quantity: it is never serialized, and a loaded model runs
+        // under the default (unsharded-identical) schedule
+        schedule: Default::default(),
     })
 }
 

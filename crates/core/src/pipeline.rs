@@ -36,7 +36,7 @@ use crate::stats::GraphStats;
 use crate::timings::{stage, TestTimings};
 use graphner_banner::NerModel;
 use graphner_crf::viterbi_tags;
-use graphner_graph::{propagate, KnnGraph, LabelDist, SparseVec, UNIFORM};
+use graphner_graph::{propagate_partitioned, KnnGraph, LabelDist, Partition, SparseVec, UNIFORM};
 use graphner_obs::{attr, obs_summary, span, with_capture};
 use graphner_text::{BioTag, Corpus, Sentence, Tagger, TrigramInterner, NUM_TAGS};
 use rayon::prelude::*;
@@ -152,18 +152,30 @@ impl AverageStage {
     }
 }
 
-/// Line 7: Jacobi label propagation over the similarity graph.
+/// Line 7: Jacobi label propagation over the similarity graph, run by
+/// the sharded engine against a prebuilt [`Partition`].
 pub struct PropagateStage;
 
 impl PropagateStage {
-    /// Propagate in place; returns the sweep report.
+    /// Propagate in place; returns the sweep report. `partition` must
+    /// be built from `graph` (the session caches one per resolved
+    /// shard size, so repeated runs reuse the precomputed weight sums
+    /// and boundary metadata).
     pub fn run(
         graph: &KnnGraph,
+        partition: &Partition,
         x: &mut VertexBeliefs,
         x_ref: &[Option<LabelDist>],
         cfg: &GraphNerConfig,
     ) -> graphner_graph::PropagationReport {
-        let report = propagate(graph, x, x_ref, &cfg.propagation);
+        let report = propagate_partitioned(
+            graph,
+            partition,
+            x,
+            x_ref,
+            &cfg.propagation,
+            cfg.schedule.active_set,
+        );
         check::assert_distributions("propagated vertex beliefs (PropagateStage)", x);
         report
     }
@@ -253,6 +265,10 @@ pub struct TestSession<'a> {
     vectors: FxHashMap<(u8, u64), Vec<SparseVec>>,
     /// k-NN graphs per (feature-set key, K).
     graphs: FxHashMap<((u8, u64), usize), KnnGraph>,
+    /// Propagation partitions per (feature-set key, K, resolved shard
+    /// size): the precomputed weight sums and boundary metadata are
+    /// graph-derived, so they cache exactly like the graph itself.
+    partitions: FxHashMap<((u8, u64), usize, usize), Partition>,
     /// Averaged vertex beliefs (config-independent).
     averaged: Option<VertexBeliefs>,
     /// Dense `X_ref` slice, indexed by vertex id.
@@ -269,6 +285,7 @@ impl<'a> TestSession<'a> {
             posteriors: None,
             vectors: FxHashMap::default(),
             graphs: FxHashMap::default(),
+            partitions: FxHashMap::default(),
             averaged: None,
             x_ref_slice: None,
         }
@@ -282,6 +299,11 @@ impl<'a> TestSession<'a> {
     /// Number of distinct PMI vector sets built so far.
     pub fn cached_vector_count(&self) -> usize {
         self.vectors.len()
+    }
+
+    /// Number of distinct propagation partitions built so far.
+    pub fn cached_partition_count(&self) -> usize {
+        self.partitions.len()
     }
 
     fn ensure_posteriors(&mut self) {
@@ -309,6 +331,25 @@ impl<'a> TestSession<'a> {
         attr("graph.edges", graph.num_edges());
         attr("graph.k", k);
         self.graphs.insert((fs_key, k), graph);
+    }
+
+    /// Build (or look up) the propagation partition of the graph
+    /// keyed by `(feature set, k)` at the configured shard size.
+    /// Requires a prior [`Self::ensure_graph`]. Returns the resolved
+    /// vertices-per-shard, which completes the cache key: two
+    /// `ShardSize` values resolving to the same concrete size share
+    /// one partition.
+    fn ensure_partition(&mut self, cfg: &GraphNerConfig) -> usize {
+        let graph_key = (cfg.feature_set.cache_key(), cfg.k);
+        let Some(graph) = self.graphs.get(&graph_key) else {
+            unreachable!("callers run ensure_graph before ensure_partition")
+        };
+        let resolved = cfg.schedule.shard_size.resolve(graph.num_vertices());
+        let key = (graph_key.0, graph_key.1, resolved);
+        self.partitions
+            .entry(key)
+            .or_insert_with(|| Partition::new(graph, graphner_graph::ShardSize::Fixed(resolved)));
+        resolved
     }
 
     /// Requires a prior [`Self::ensure_graph`], which completes the
@@ -339,10 +380,13 @@ impl<'a> TestSession<'a> {
         let ((predictions, base_predictions, stats, report), spans) = with_capture(|| {
             self.ensure_posteriors();
             self.ensure_graph(cfg.feature_set, cfg.k);
+            let shard_vertices = self.ensure_partition(cfg);
             self.ensure_averaged();
             self.ensure_x_ref_slice();
 
-            let graph = &self.graphs[&(cfg.feature_set.cache_key(), cfg.k)];
+            let graph_key = (cfg.feature_set.cache_key(), cfg.k);
+            let graph = &self.graphs[&graph_key];
+            let partition = &self.partitions[&(graph_key.0, graph_key.1, shard_vertices)];
             let (Some(x_ref_slice), Some(posteriors), Some(averaged)) =
                 (self.x_ref_slice.as_ref(), self.posteriors.as_ref(), self.averaged.as_ref())
             else {
@@ -354,7 +398,7 @@ impl<'a> TestSession<'a> {
             let mut x = averaged.clone();
             let report = {
                 let _s = span(stage::PROPAGATE);
-                PropagateStage::run(graph, &mut x, x_ref_slice, cfg)
+                PropagateStage::run(graph, partition, &mut x, x_ref_slice, cfg)
             };
 
             let transitions = empirical_transitions(
@@ -384,7 +428,7 @@ impl<'a> TestSession<'a> {
             let base_predictions: Vec<Vec<BioTag>> =
                 test_posteriors.par_iter().map(|post| viterbi_tags(post, &transitions)).collect();
 
-            let stats = GraphStats::compute(graph, x_ref_slice);
+            let stats = GraphStats::compute(graph, x_ref_slice, partition);
             (predictions, base_predictions, stats, report)
         });
 
@@ -416,16 +460,19 @@ impl<'a> TestSession<'a> {
     pub fn tagger(&mut self, cfg: &GraphNerConfig) -> GraphTagger {
         self.ensure_posteriors();
         self.ensure_graph(cfg.feature_set, cfg.k);
+        let shard_vertices = self.ensure_partition(cfg);
         self.ensure_averaged();
         self.ensure_x_ref_slice();
-        let graph = &self.graphs[&(cfg.feature_set.cache_key(), cfg.k)];
+        let graph_key = (cfg.feature_set.cache_key(), cfg.k);
+        let graph = &self.graphs[&graph_key];
+        let partition = &self.partitions[&(graph_key.0, graph_key.1, shard_vertices)];
         let (Some(averaged), Some(x_ref_slice)) =
             (self.averaged.as_ref(), self.x_ref_slice.as_ref())
         else {
             unreachable!("the ensure_* calls above populate the session cache")
         };
         let mut x = averaged.clone();
-        PropagateStage::run(graph, &mut x, x_ref_slice, cfg);
+        PropagateStage::run(graph, partition, &mut x, x_ref_slice, cfg);
         GraphTagger {
             base: self.model.base.clone(),
             interner: self.interner.clone(),
@@ -593,6 +640,33 @@ mod tests {
         session.run(&GraphNerConfig { k: 5, ..GraphNerConfig::default() });
         assert_eq!(session.cached_vector_count(), 1);
         assert_eq!(session.cached_graph_count(), 2);
+    }
+
+    #[test]
+    fn partitions_are_cached_and_shard_size_never_changes_output() {
+        use graphner_graph::{ShardSize, SweepSchedule};
+        let train = toy_train();
+        let test = toy_test();
+        let (gner, _) = GraphNer::train(&train, &quick_base_cfg(), None, GraphNerConfig::default());
+        let mut session = TestSession::new(&gner, &test);
+        let base = session.run(&GraphNerConfig::default());
+        assert_eq!(session.cached_partition_count(), 1);
+        // rerunning the same schedule reuses the cached partition
+        session.run(&GraphNerConfig::default());
+        assert_eq!(session.cached_partition_count(), 1);
+        // any shard size produces byte-identical predictions and stats
+        for size in [1usize, 3, 1024] {
+            let cfg = GraphNerConfig {
+                schedule: SweepSchedule { shard_size: ShardSize::Fixed(size), active_set: false },
+                ..GraphNerConfig::default()
+            };
+            let out = session.run(&cfg);
+            assert_eq!(out.predictions, base.predictions, "shard size {size} changed the decode");
+            assert_eq!(out.base_predictions, base.base_predictions);
+        }
+        // Fixed(1024) resolves to the same size Auto picked on this toy
+        // graph, so only the two genuinely new sizes added partitions
+        assert_eq!(session.cached_partition_count(), 3);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! vertices (appeared as B or I in the train set), weak connectivity,
 //! and the influence/influencee histograms of Figure 3.
 
-use graphner_graph::{histogram, Histogram, KnnGraph, LabelDist};
+use graphner_graph::{histogram, Histogram, KnnGraph, LabelDist, Partition, ShardBalance};
 use graphner_text::BioTag;
 
 /// Statistics of one constructed similarity graph.
@@ -28,14 +28,27 @@ pub struct GraphStats {
     pub influence: Vec<f64>,
     /// `|Influencees(v)|` per vertex.
     pub influencees: Vec<u32>,
+    /// Resolved vertices-per-shard of the propagation partition the
+    /// pipeline ran with.
+    pub shard_vertices: usize,
+    /// Total cross-shard edges of that partition.
+    pub boundary_edges: usize,
+    /// Per-shard vertex/edge/boundary-edge balance, in shard order.
+    pub shard_balance: Vec<ShardBalance>,
 }
 
 impl GraphStats {
     /// Compute all statistics for a graph with its labelled-vertex
-    /// reference distributions.
-    pub fn compute(graph: &KnnGraph, x_ref: &[Option<LabelDist>]) -> GraphStats {
+    /// reference distributions and the propagation partition the
+    /// pipeline swept over.
+    pub fn compute(
+        graph: &KnnGraph,
+        x_ref: &[Option<LabelDist>],
+        partition: &Partition,
+    ) -> GraphStats {
         let n = graph.num_vertices();
         assert_eq!(x_ref.len(), n);
+        assert_eq!(partition.num_vertices(), n, "partition must be built from this graph");
         let labelled = x_ref.iter().filter(|r| r.is_some()).count();
         let positive = x_ref
             .iter()
@@ -50,6 +63,9 @@ impl GraphStats {
             largest_component: graph.largest_component_size(),
             influence: graph.influence(),
             influencees: graph.influencees(),
+            shard_vertices: partition.shard_vertices(),
+            boundary_edges: partition.boundary_edges(),
+            shard_balance: partition.balance(),
         }
     }
 
@@ -68,18 +84,26 @@ impl GraphStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphner_graph::ShardSize;
+
+    fn auto_partition(g: &KnnGraph) -> Partition {
+        Partition::new(g, ShardSize::Auto)
+    }
 
     #[test]
     fn computes_basic_stats() {
         let g = KnnGraph::from_adjacency(vec![vec![(1, 0.9)], vec![(0, 0.9)], vec![(0, 0.5)]], 1);
         let x_ref = vec![Some([1.0, 0.0, 0.0]), Some([0.0, 0.0, 1.0]), None];
-        let s = GraphStats::compute(&g, &x_ref);
+        let s = GraphStats::compute(&g, &x_ref, &auto_partition(&g));
         assert_eq!(s.num_vertices, 3);
         assert_eq!(s.num_edges, 3);
         assert!((s.pct_labelled - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.pct_positive - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.components, 1);
         assert_eq!(s.largest_component, 3);
+        // one auto-sized shard swallows the toy graph: no boundary
+        assert_eq!(s.shard_balance.len(), 1);
+        assert_eq!(s.boundary_edges, 0);
     }
 
     #[test]
@@ -89,7 +113,7 @@ mod tests {
             1,
         );
         let x_ref = vec![None; 4];
-        let s = GraphStats::compute(&g, &x_ref);
+        let s = GraphStats::compute(&g, &x_ref, &auto_partition(&g));
         let h = s.influence_histogram(5);
         assert_eq!(h.counts.iter().sum::<usize>(), 4);
         let h2 = s.influencees_histogram(5);
@@ -102,10 +126,28 @@ mod tests {
         let adj: Vec<Vec<(u32, f32)>> =
             (0..20).map(|i| if i == 0 { vec![(1, 0.5)] } else { vec![(0, 0.9)] }).collect();
         let g = KnnGraph::from_adjacency(adj, 1);
-        let s = GraphStats::compute(&g, &vec![None; 20]);
+        let s = GraphStats::compute(&g, &vec![None; 20], &auto_partition(&g));
         let h = s.influence_histogram(10);
         // the first bin (low influence) holds nearly everything, as in
         // the paper's Figure 3
         assert!(h.counts[0] >= 18);
+    }
+
+    #[test]
+    fn shard_balance_follows_the_partition() {
+        let adj: Vec<Vec<(u32, f32)>> =
+            (0..10).map(|i| vec![(((i + 1) % 10) as u32, 0.5)]).collect();
+        let g = KnnGraph::from_adjacency(adj, 1);
+        let p = Partition::new(&g, ShardSize::Fixed(4));
+        let s = GraphStats::compute(&g, &vec![None; 10], &p);
+        assert_eq!(s.shard_vertices, 4);
+        assert_eq!(s.shard_balance.len(), 3);
+        let vertices: usize = s.shard_balance.iter().map(|b| b.vertices).sum();
+        assert_eq!(vertices, 10);
+        let boundary: usize = s.shard_balance.iter().map(|b| b.boundary_edges).sum();
+        assert_eq!(boundary, s.boundary_edges);
+        // a 10-ring cut into [0,4),[4,8),[8,10): one crossing per cut
+        // in edge direction... vertex 3→4, 7→8, 9→0 cross
+        assert_eq!(s.boundary_edges, 3);
     }
 }

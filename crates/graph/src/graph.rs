@@ -5,6 +5,44 @@
 //! Stored as CSR: each vertex's out-edges (its nearest neighbours) are a
 //! contiguous run of `(neighbour, weight)` pairs.
 
+/// Most directed edges a [`KnnGraph`] can hold: the CSR offsets are
+/// `u32`, so the edge arrays must stay addressable by one.
+pub const MAX_EDGES: usize = u32::MAX as usize;
+
+/// A rejected [`KnnGraph::try_from_adjacency`]: the adjacency lists
+/// describe a graph the `u32` CSR layout cannot represent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphBuildError {
+    /// Total edge count exceeds [`MAX_EDGES`]; storing it would
+    /// silently truncate the offsets.
+    TooManyEdges {
+        /// The offending total.
+        edges: usize,
+    },
+}
+
+impl std::fmt::Display for GraphBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphBuildError::TooManyEdges { edges } => write!(
+                f,
+                "adjacency lists hold {edges} edges, but u32 CSR offsets \
+                 address at most {MAX_EDGES}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphBuildError {}
+
+/// The edge-count precondition shared by both constructors.
+fn check_edge_count(total: usize) -> Result<(), GraphBuildError> {
+    if total > MAX_EDGES {
+        return Err(GraphBuildError::TooManyEdges { edges: total });
+    }
+    Ok(())
+}
+
 /// Directed k-NN graph in CSR layout.
 #[derive(Clone, Debug)]
 pub struct KnnGraph {
@@ -16,11 +54,34 @@ pub struct KnnGraph {
 
 impl KnnGraph {
     /// Build from per-vertex adjacency lists (already truncated to the
-    /// k nearest).
+    /// k nearest). Panics if the total edge count overflows the `u32`
+    /// CSR offsets ([`MAX_EDGES`]) — use
+    /// [`KnnGraph::try_from_adjacency`] to handle that case as a value.
     pub fn from_adjacency(adj: Vec<Vec<(u32, f32)>>, k: usize) -> KnnGraph {
+        let total: usize = adj.iter().map(Vec::len).sum();
+        assert!(
+            total <= MAX_EDGES,
+            "graph has {total} edges, overflowing the u32 CSR offsets \
+             (max {MAX_EDGES}); use try_from_adjacency to handle this"
+        );
+        Self::build(adj, k, total)
+    }
+
+    /// Fallible [`KnnGraph::from_adjacency`]: returns a typed
+    /// [`GraphBuildError`] instead of panicking when the edge count
+    /// exceeds what `u32` CSR offsets can address.
+    pub fn try_from_adjacency(
+        adj: Vec<Vec<(u32, f32)>>,
+        k: usize,
+    ) -> Result<KnnGraph, GraphBuildError> {
+        let total: usize = adj.iter().map(Vec::len).sum();
+        check_edge_count(total)?;
+        Ok(Self::build(adj, k, total))
+    }
+
+    fn build(adj: Vec<Vec<(u32, f32)>>, k: usize, total: usize) -> KnnGraph {
         let n = adj.len();
         let mut offsets = Vec::with_capacity(n + 1);
-        let total: usize = adj.iter().map(Vec::len).sum();
         let mut neighbors = Vec::with_capacity(total);
         let mut weights = Vec::with_capacity(total);
         offsets.push(0u32);
@@ -61,6 +122,15 @@ impl KnnGraph {
     /// Out-degree of `v`.
     pub fn out_degree(&self, v: u32) -> usize {
         (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Number of out-edges of the contiguous vertex range
+    /// `[start, end)` — one offset subtraction, thanks to the CSR
+    /// layout. Used by [`Partition`](crate::shard::Partition) to size
+    /// shards by edge mass.
+    pub fn out_edges_in_range(&self, start: u32, end: u32) -> usize {
+        assert!(start <= end && (end as usize) < self.offsets.len(), "range out of bounds");
+        (self.offsets[end as usize] - self.offsets[start as usize]) as usize
     }
 
     /// Sum of outgoing edge weights `Σ_k w_{v,k}` (the `μ Σ w` term in
@@ -286,5 +356,51 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.largest_component_size(), 0);
+    }
+
+    #[test]
+    fn out_edges_in_range_matches_degree_sums() {
+        let g = cyclic();
+        assert_eq!(g.out_edges_in_range(0, 0), 0);
+        assert_eq!(g.out_edges_in_range(0, 4), g.num_edges());
+        for start in 0..4u32 {
+            for end in start..4u32 {
+                let expect: usize = (start..end).map(|v| g.out_degree(v)).sum();
+                assert_eq!(g.out_edges_in_range(start, end), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_guard_accepts_up_to_u32_max() {
+        assert_eq!(check_edge_count(0), Ok(()));
+        assert_eq!(check_edge_count(MAX_EDGES), Ok(()));
+        assert_eq!(
+            check_edge_count(MAX_EDGES + 1),
+            Err(GraphBuildError::TooManyEdges { edges: MAX_EDGES + 1 })
+        );
+    }
+
+    #[test]
+    fn try_from_adjacency_builds_identically() {
+        let adj = vec![vec![(1, 0.5)], vec![(2, 0.4)], vec![(0, 0.3)], vec![(0, 0.9)]];
+        let checked = KnnGraph::try_from_adjacency(adj, 1).expect("within edge budget");
+        let plain = cyclic();
+        assert_eq!(checked.num_vertices(), plain.num_vertices());
+        assert_eq!(checked.num_edges(), plain.num_edges());
+        for v in 0..4u32 {
+            assert_eq!(
+                checked.neighbors(v).collect::<Vec<_>>(),
+                plain.neighbors(v).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn edge_overflow_error_names_the_count() {
+        let err = GraphBuildError::TooManyEdges { edges: MAX_EDGES + 7 };
+        let msg = err.to_string();
+        assert!(msg.contains(&(MAX_EDGES + 7).to_string()), "{msg}");
+        assert!(msg.contains(&MAX_EDGES.to_string()), "{msg}");
     }
 }

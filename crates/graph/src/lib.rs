@@ -12,19 +12,24 @@
 //!   parallel;
 //! * [`graph`] — the directed k-NN graph (CSR) with the §III-D
 //!   statistics: influence, influencees, weak connectivity;
+//! * [`shard`] — contiguous CSR partitions with precomputed weight
+//!   sums and boundary metadata, the unit the sweep engine schedules;
 //! * [`propagate`] — the iterative label-propagation update of
-//!   equation (2).
+//!   equation (2), run shard-by-shard by the block-synchronous engine.
 
 pub mod graph;
 pub mod knn;
 pub mod pmi;
 pub mod propagate;
+pub mod shard;
 pub mod sparse;
 
-pub use graph::{histogram, Histogram, KnnGraph};
+pub use graph::{histogram, GraphBuildError, Histogram, KnnGraph, MAX_EDGES};
 pub use knn::{knn_brute_force, knn_inverted_index};
 pub use pmi::VertexFeatureCounts;
 pub use propagate::{
-    propagate, LabelDist, PropagationParams, PropagationReport, CONVERGENCE_TOL, UNIFORM,
+    propagate, propagate_partitioned, propagate_reference, LabelDist, PropagationParams,
+    PropagationReport, ACTIVE_SET_TOL, CONVERGENCE_TOL, UNIFORM,
 };
+pub use shard::{Partition, Shard, ShardBalance, ShardSize, SweepSchedule};
 pub use sparse::SparseVec;

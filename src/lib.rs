@@ -49,7 +49,8 @@ pub mod prelude {
     pub use graphner_banner::NerConfig;
     pub use graphner_core::{
         annotations_from_predictions, load_model, save_model, ConfigError, GraphNer,
-        GraphNerConfig, GraphNerConfigBuilder, GraphTagger, TestOutput, TestSession,
+        GraphNerConfig, GraphNerConfigBuilder, GraphTagger, ShardSize, SweepSchedule, TestOutput,
+        TestSession,
     };
     pub use graphner_corpusgen::{generate, CorpusProfile};
     pub use graphner_crf::TrainConfig;

@@ -10,7 +10,7 @@
 //! output except wall-clock timings.
 
 use graphner::banner::NerConfig;
-use graphner::core::{GraphNer, GraphNerConfig, TestOutput, TestSession};
+use graphner::core::{GraphNer, GraphNerConfig, ShardSize, TestOutput, TestSession};
 use graphner::corpusgen::{generate, CorpusProfile};
 use graphner::crf::TrainConfig;
 
@@ -69,6 +69,10 @@ fn full_pipeline_dump() -> String {
     let variants = [
         GraphNerConfig { k: 5, ..GraphNerConfig::default() },
         GraphNerConfig { alpha: 0.5, ..GraphNerConfig::default() },
+        // sweep-schedule rows: a deliberately awkward fixed shard size,
+        // and the active-set scheduler — both must be thread-invariant
+        GraphNerConfig::builder().shard_size(ShardSize::Fixed(7)).build().expect("valid config"),
+        GraphNerConfig::builder().active_set(true).build().expect("valid config"),
     ];
     for cfg in &variants {
         dump.push_str("ablation_row:\n");
@@ -162,6 +166,47 @@ fn logical_clock_trace_is_byte_identical_across_runs() {
         dumps.push(dump);
     }
     assert_eq!(dumps[0], dumps[1], "logical-clock traces must be byte-identical across runs");
+}
+
+/// The shard size is a pure execution knob: any fixed size (or auto)
+/// must reproduce the default run's predictions, beliefs, and
+/// convergence byte-for-byte, with only the partition-shape statistics
+/// differing.
+#[test]
+fn shard_size_never_changes_pipeline_output() {
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let unlabelled = corpus.test.without_tags();
+    let mut session = TestSession::new(&model, &unlabelled);
+    let baseline = session.run(model.config());
+    for size in [ShardSize::Fixed(1), ShardSize::Fixed(7), ShardSize::Fixed(4096)] {
+        let cfg = GraphNerConfig::builder().shard_size(size).build().expect("valid config");
+        let out = session.run(&cfg);
+        assert_eq!(out.predictions, baseline.predictions, "predictions changed under {size:?}");
+        assert_eq!(
+            out.base_predictions, baseline.base_predictions,
+            "base predictions changed under {size:?}"
+        );
+        assert_eq!(out.propagation_iterations, baseline.propagation_iterations);
+        assert_eq!(out.converged, baseline.converged);
+    }
+}
+
+/// The active-set scheduler may skip converged shards but is itself
+/// deterministic: two sessions running it must agree byte-for-byte.
+#[test]
+fn active_set_runs_are_reproducible() {
+    let corpus = generate(&CorpusProfile::bc2gm().scaled(0.02));
+    let (model, _) = GraphNer::train(&corpus.train, &quick_cfg(), None, GraphNerConfig::default());
+    let unlabelled = corpus.test.without_tags();
+    let cfg = GraphNerConfig::builder()
+        .shard_size(ShardSize::Fixed(64))
+        .active_set(true)
+        .build()
+        .expect("valid config");
+    let out_a = TestSession::new(&model, &unlabelled).run(&cfg);
+    let out_b = TestSession::new(&model, &unlabelled).run(&cfg);
+    assert_eq!(canonical(&out_a), canonical(&out_b));
 }
 
 #[test]
