@@ -109,9 +109,25 @@ pub fn apply(
     entries: &[AllowEntry],
     line_of: impl Fn(&Finding) -> Option<String>,
 ) -> (Vec<Finding>, Vec<(Finding, &AllowEntry)>, Vec<AllowlistIssue>) {
+    let mut used = vec![false; entries.len()];
+    let (kept, suppressed) = apply_tracked(findings, entries, line_of, &mut used);
+    let stale = stale_entries(entries, &used);
+    (kept, suppressed, stale)
+}
+
+/// [`apply`] for multi-batch runs: the caller owns the per-entry
+/// `used` flags, so the two-pass audit can feed pass-1 and pass-2
+/// findings through the same allowlist and only then decide which
+/// entries went stale.
+pub fn apply_tracked<'e>(
+    findings: Vec<Finding>,
+    entries: &'e [AllowEntry],
+    line_of: impl Fn(&Finding) -> Option<String>,
+    used: &mut [bool],
+) -> (Vec<Finding>, Vec<(Finding, &'e AllowEntry)>) {
+    debug_assert_eq!(used.len(), entries.len());
     let mut kept = Vec::new();
     let mut suppressed = Vec::new();
-    let mut used = vec![false; entries.len()];
     for f in findings {
         let text = line_of(&f).unwrap_or_default();
         let hit = entries
@@ -126,13 +142,18 @@ pub fn apply(
             None => kept.push(f),
         }
     }
-    let stale = entries
+    (kept, suppressed)
+}
+
+/// The [`AllowlistIssue::Stale`] reports for entries whose `used` flag
+/// never went up.
+pub fn stale_entries(entries: &[AllowEntry], used: &[bool]) -> Vec<AllowlistIssue> {
+    entries
         .iter()
-        .zip(&used)
+        .zip(used)
         .filter(|(_, &u)| !u)
         .map(|(e, _)| AllowlistIssue::Stale { entry: e.clone() })
-        .collect();
-    (kept, suppressed, stale)
+        .collect()
 }
 
 #[cfg(test)]

@@ -12,9 +12,13 @@
 //!   crate's manifest, i.e. the repo checkout the binary was built from).
 //! * `--metrics-out <path>` — append the run's metrics
 //!   (`audit.findings`, `audit.rule.<id>`, `audit.files_scanned`,
-//!   `audit.allowlisted`, `audit.allowlist_issues`) as JSONL through
-//!   `graphner-obs`, so the metrics trajectory records lint debt over
-//!   time.
+//!   `audit.allowlisted`, `audit.allowlist_issues`,
+//!   `audit.unsafe_sites`) as JSONL through `graphner-obs`, so the
+//!   metrics trajectory records lint debt over time.
+//! * `--unsafe-report <path>` — write the `unsafe` provenance
+//!   inventory (every site, its kind, enclosing function and
+//!   `// SAFETY:` justification) collected during a `--workspace` or
+//!   file scan; CI uploads it as a build artifact.
 //!
 //! Exit status: `0` clean, `1` findings or self-test failures, `2`
 //! usage or I/O errors.
@@ -25,7 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: audit [--root <dir>] [--metrics-out <path>] (--workspace | --self-test | <file.rs>...)"
+        "usage: audit [--root <dir>] [--metrics-out <path>] [--unsafe-report <path>] (--workspace | --self-test | <file.rs>...)"
     );
     ExitCode::from(2)
 }
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
     let mut selftest = false;
     let mut root_override: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut unsafe_report: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -48,6 +53,10 @@ fn main() -> ExitCode {
             },
             "--metrics-out" => match args.next() {
                 Some(path) => metrics_out = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--unsafe-report" => match args.next() {
+                Some(path) => unsafe_report = Some(PathBuf::from(path)),
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -130,6 +139,12 @@ fn main() -> ExitCode {
         match graphner_audit::run(&root, &files) {
             Ok(report) => {
                 print_report(&report);
+                if let Some(path) = &unsafe_report {
+                    if let Err(e) = std::fs::write(path, report.render_unsafe_report()) {
+                        eprintln!("audit: cannot write unsafe report to {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
                 if let Some(path) = &metrics_out {
                     report.publish_metrics();
                     if let Err(e) = write_metrics(path) {

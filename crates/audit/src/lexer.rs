@@ -46,6 +46,41 @@ pub struct Token {
     pub line: usize,
 }
 
+/// One comment with its source position. Comments never become tokens
+/// — rules cannot be fooled by their contents — but the symbol-index
+/// pass reads them back out for provenance annotations (`// SAFETY:`,
+/// `// det:`), which live *in* comments by design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// 1-based line of the comment's last character (equals `line` for
+    /// single-line comments).
+    pub end_line: usize,
+    /// Interior text: everything after the `//` of a line comment
+    /// (including any third `/` or `!` of doc comments), or between the
+    /// delimiters of a block comment.
+    pub text: String,
+}
+
+impl Comment {
+    /// The comment body with doc markers (`/`, `!`, `*`) and
+    /// surrounding whitespace stripped — what annotation rules match
+    /// against.
+    pub fn body(&self) -> &str {
+        self.text.trim_start_matches(['/', '!', '*']).trim()
+    }
+}
+
+/// Tokens plus captured comments, from [`tokenize_full`].
+#[derive(Clone, Debug, Default)]
+pub struct LexOutput {
+    /// The token stream (comments and whitespace skipped).
+    pub tokens: Vec<Token>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
 impl Token {
     /// The identifier text, if this token is an identifier.
     pub fn ident(&self) -> Option<&str> {
@@ -83,7 +118,21 @@ impl Token {
 /// advance through them); char contents are discarded, string contents
 /// ride on [`TokenKind::Str`].
 pub fn tokenize(source: &str) -> Vec<Token> {
-    Lexer { chars: source.chars().collect(), pos: 0, line: 1, tokens: Vec::new() }.run()
+    tokenize_full(source).tokens
+}
+
+/// Tokenize Rust source, also capturing every comment with its line
+/// span and interior text — the input to the symbol-index pass, whose
+/// provenance rules (`// SAFETY:`, `// det:`) live in comments.
+pub fn tokenize_full(source: &str) -> LexOutput {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
 }
 
 struct Lexer {
@@ -91,6 +140,7 @@ struct Lexer {
     pos: usize,
     line: usize,
     tokens: Vec<Token>,
+    comments: Vec<Comment>,
 }
 
 impl Lexer {
@@ -113,15 +163,15 @@ impl Lexer {
         self.tokens.push(Token { kind, line });
     }
 
-    fn run(mut self) -> Vec<Token> {
+    fn run(mut self) -> LexOutput {
         while let Some(c) = self.peek(0) {
             let line = self.line;
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
                 }
-                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
-                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '/' if self.peek(1) == Some('/') => self.lex_line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.lex_block_comment(line),
                 '\'' => self.lex_quote(line),
                 '"' => {
                     let text = self.lex_string();
@@ -136,20 +186,28 @@ impl Lexer {
                 _ => self.lex_punct(line),
             }
         }
-        self.tokens
+        LexOutput { tokens: self.tokens, comments: self.comments }
     }
 
-    fn skip_line_comment(&mut self) {
-        while let Some(c) = self.bump() {
+    fn lex_line_comment(&mut self, line: usize) {
+        self.bump(); // '/'
+        self.bump(); // '/'
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
             if c == '\n' {
+                self.bump();
                 break;
             }
+            text.push(c);
+            self.bump();
         }
+        self.comments.push(Comment { line, end_line: line, text });
     }
 
-    fn skip_block_comment(&mut self) {
+    fn lex_block_comment(&mut self, line: usize) {
         self.bump(); // '/'
         self.bump(); // '*'
+        let mut text = String::new();
         let mut depth = 1usize;
         while depth > 0 {
             match (self.peek(0), self.peek(1)) {
@@ -157,18 +215,24 @@ impl Lexer {
                     self.bump();
                     self.bump();
                     depth += 1;
+                    text.push_str("/*");
                 }
                 (Some('*'), Some('/')) => {
                     self.bump();
                     self.bump();
                     depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
                 }
-                (Some(_), _) => {
+                (Some(c), _) => {
                     self.bump();
+                    text.push(c);
                 }
                 (None, _) => break, // unterminated: tolerate, stop at EOF
             }
         }
+        self.comments.push(Comment { line, end_line: self.line, text });
     }
 
     /// `'` starts either a char literal or a lifetime. A lifetime is
@@ -258,19 +322,27 @@ impl Lexer {
             }
             self.bump(); // opening quote
                          // raw strings end at `"` followed by `hashes` hashes
-            'outer: while let Some(c) = self.bump() {
+            while let Some(c) = self.bump() {
                 if c == '"' {
-                    for i in 0..hashes {
-                        if self.peek(i) != Some('#') {
-                            text.push('"');
-                            text.extend((0..i).map(|_| '#'));
-                            continue 'outer;
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(matched) == Some('#') {
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        for _ in 0..hashes {
+                            self.bump();
                         }
+                        break;
                     }
-                    for _ in 0..hashes {
+                    // Not a terminator: the quote and the hashes seen
+                    // are payload. Consume the hashes so they are not
+                    // re-read (and duplicated) by the next iteration.
+                    text.push('"');
+                    for _ in 0..matched {
                         self.bump();
+                        text.push('#');
                     }
-                    break;
+                    continue;
                 }
                 text.push(c);
             }
@@ -531,5 +603,54 @@ mod tests {
         assert!(tokenize("/* never closed").is_empty());
         assert_eq!(tokenize("\"never closed").len(), 1);
         assert_eq!(tokenize("r#\"never closed").len(), 1);
+    }
+
+    #[test]
+    fn raw_string_interior_quote_hash_runs_are_not_duplicated() {
+        // `"#` inside an `r##"…"##` string is payload, not a close;
+        // the old lexer re-read the partial hash run and duplicated it.
+        let toks = tokenize("r##\"a\"#b\"## end");
+        assert_eq!(toks[0].str_lit(), Some("a\"#b"));
+        assert!(toks[1].is_ident("end"));
+        // a bare quote (zero following hashes) inside a hashed raw string
+        let toks = tokenize("r#\"say \"hi\" now\"# x");
+        assert_eq!(toks[0].str_lit(), Some("say \"hi\" now"));
+        assert!(toks[1].is_ident("x"));
+        // the first `"#` candidate closes an `r#` string
+        let toks = tokenize("r#\"a\"##\"#");
+        assert_eq!(toks[0].str_lit(), Some("a"));
+    }
+
+    #[test]
+    fn raw_strings_spanning_lines_keep_line_numbers() {
+        let toks = tokenize("r#\"line\nline\nline\"#\nafter");
+        assert_eq!(toks[0].str_lit(), Some("line\nline\nline"));
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn comments_are_captured_with_spans() {
+        let out = tokenize_full(
+            "// SAFETY: top\nfn f() {} // trailing\n/* block\nspans lines */\n/// doc\nx",
+        );
+        let lines: Vec<(usize, usize)> =
+            out.comments.iter().map(|c| (c.line, c.end_line)).collect();
+        assert_eq!(lines, vec![(1, 1), (2, 2), (3, 4), (5, 5)]);
+        assert_eq!(out.comments[0].body(), "SAFETY: top");
+        assert_eq!(out.comments[1].body(), "trailing");
+        assert_eq!(out.comments[2].body(), "block\nspans lines");
+        assert_eq!(out.comments[3].body(), "doc");
+        assert_eq!(out.tokens.iter().filter_map(|t| t.ident()).count(), 3); // fn f x
+    }
+
+    #[test]
+    fn nested_block_comments_capture_interior_and_terminate() {
+        let out = tokenize_full("/* a /* nested */ b */ after /*/ tricky */ end");
+        assert!(out.tokens.iter().any(|t| t.is_ident("after")));
+        assert!(out.tokens.iter().any(|t| t.is_ident("end")));
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].text, " a /* nested */ b ");
+        // `/*/` opens a comment whose body starts with `/`
+        assert_eq!(out.comments[1].text, "/ tricky ");
     }
 }

@@ -17,13 +17,23 @@
 pub mod allowlist;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
+pub mod symgraph;
+pub mod xrules;
 
 use allowlist::{AllowEntry, AllowlistIssue};
 use rules::{Finding, Rule, ALL_RULES};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use symbols::FileIndex;
+use xrules::{Mode, SpanRegistry};
 
 /// Name of the allowlist file at the workspace root.
 pub const ALLOWLIST_FILE: &str = "audit-allowlist.txt";
+
+/// Workspace-relative path of the known span-name registry consumed by
+/// the `span-known` rule.
+pub const SPAN_NAMES_FILE: &str = "crates/audit/span-names.txt";
 
 /// Fixture header directive: pretend the file lives at this workspace
 /// path when deriving rule scopes (`//@ scan-as: crates/core/src/x.rs`).
@@ -32,6 +42,23 @@ pub const SCAN_AS: &str = "//@ scan-as:";
 /// Marker comment declaring an expected finding on its line
 /// (`//~ rule-id`, repeatable on one line).
 pub const EXPECT_MARKER: &str = "//~";
+
+/// One `unsafe` site in the workspace inventory (`--unsafe-report`).
+#[derive(Clone, Debug)]
+pub struct UnsafeRecord {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// Site kind label (`unsafe-block`, `unsafe-fn`, …).
+    pub kind: &'static str,
+    /// Short source context.
+    pub context: String,
+    /// Innermost enclosing function, if any.
+    pub enclosing_fn: Option<String>,
+    /// The `// SAFETY:` justification, if present.
+    pub safety: Option<String>,
+}
 
 /// Outcome of one audit run.
 #[derive(Debug, Default)]
@@ -45,6 +72,9 @@ pub struct Report {
     pub allowlist_issues: Vec<AllowlistIssue>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Every `unsafe` site encountered, justified or not, in scan
+    /// order — the `--unsafe-report` inventory.
+    pub unsafe_sites: Vec<UnsafeRecord>,
 }
 
 impl Report {
@@ -71,6 +101,40 @@ impl Report {
         graphner_obs::counter("audit.files_scanned").add(self.files_scanned as u64);
         graphner_obs::counter("audit.allowlisted").add(self.suppressed.len() as u64);
         graphner_obs::counter("audit.allowlist_issues").add(self.allowlist_issues.len() as u64);
+        graphner_obs::counter("audit.unsafe_sites").add(self.unsafe_sites.len() as u64);
+    }
+
+    /// Render the `unsafe` inventory as the `--unsafe-report` text: one
+    /// block per site — location, kind, enclosing function, context and
+    /// the (possibly multi-line) justification.
+    pub fn render_unsafe_report(&self) -> String {
+        let mut out = String::new();
+        let justified = self.unsafe_sites.iter().filter(|s| s.safety.is_some()).count();
+        out.push_str(&format!(
+            "# unsafe inventory: {} sites, {} justified, {} missing\n",
+            self.unsafe_sites.len(),
+            justified,
+            self.unsafe_sites.len() - justified
+        ));
+        for site in &self.unsafe_sites {
+            out.push_str(&format!(
+                "\n{}:{} [{}] {}\n",
+                site.path, site.line, site.kind, site.context
+            ));
+            if let Some(f) = &site.enclosing_fn {
+                out.push_str(&format!("  in: fn {f}\n"));
+            }
+            match &site.safety {
+                // comment bodies already carry their `SAFETY:` prefix
+                Some(text) => {
+                    for line in text.lines() {
+                        out.push_str(&format!("  | {line}\n"));
+                    }
+                }
+                None => out.push_str("  ! missing // SAFETY: justification\n"),
+            }
+        }
+        out
     }
 }
 
@@ -165,34 +229,73 @@ fn relative(root: &Path, file: &Path) -> String {
         .join("/")
 }
 
-/// Scan one file. If its first line carries a `//@ scan-as:` header
-/// (fixtures), rules are scoped as if it lived at that path; findings
-/// still report the real relative path.
-pub fn scan_file(root: &Path, file: &Path) -> Result<(Vec<Finding>, String), AuditError> {
-    let source = read_source(file)?;
-    let rel = relative(root, file);
-    let scan_path = source
+/// The path rules scope a source under: the `//@ scan-as:` header for
+/// fixtures, the real relative path otherwise.
+fn scan_path_of(source: &str, rel: &str) -> String {
+    source
         .lines()
         .next()
         .and_then(|l| l.trim().strip_prefix(SCAN_AS))
         .map(|p| p.trim().to_string())
-        .unwrap_or_else(|| rel.clone());
+        .unwrap_or_else(|| rel.to_string())
+}
+
+/// Scan one file (pass 1 only). If its first line carries a
+/// `//@ scan-as:` header (fixtures), rules are scoped as if it lived
+/// at that path; findings still report the real relative path.
+pub fn scan_file(root: &Path, file: &Path) -> Result<(Vec<Finding>, String), AuditError> {
+    let (findings, _, source) = analyze_file(root, file)?;
+    Ok((findings, source))
+}
+
+/// Scan **and index** one file: pass-1 findings plus the pass-1 symbol
+/// index pass 2 consumes. Scope derives from the scan path; both
+/// findings and the index report the real relative path.
+pub fn analyze_file(
+    root: &Path,
+    file: &Path,
+) -> Result<(Vec<Finding>, FileIndex, String), AuditError> {
+    let source = read_source(file)?;
+    let rel = relative(root, file);
+    let scan_path = scan_path_of(&source, &rel);
     let mut findings = rules::check_file(&scan_path, &source);
     for f in &mut findings {
         f.path = rel.clone();
     }
-    Ok((findings, source))
+    let mut index = symbols::index_file(&scan_path, &source);
+    index.path = rel;
+    Ok((findings, index, source))
 }
 
-/// Run the audit over `files` (workspace-relative reporting against
-/// `root`), applying the allowlist at `root/audit-allowlist.txt` if
-/// present.
+/// Load the span-name registry under `root`, if present. Scratch trees
+/// without one skip the `span-known` rule entirely.
+pub fn load_span_registry(root: &Path) -> Result<Option<SpanRegistry>, AuditError> {
+    let path = root.join(SPAN_NAMES_FILE);
+    if !path.is_file() {
+        return Ok(None);
+    }
+    Ok(Some(SpanRegistry::parse(SPAN_NAMES_FILE, &read_source(&path)?)))
+}
+
+/// Run the two-pass audit over `files` (workspace-relative reporting
+/// against `root`), applying the allowlist at `root/audit-allowlist.txt`
+/// if present.
+///
+/// Pass 1 lints each file and builds its symbol index; pass 2 links
+/// the indexes and runs the cross-file rules. Both passes share one
+/// allowlist application, so an entry is stale only if *neither* pass
+/// matched it. `no-unwrap` findings the allowlist suppressed are
+/// documented panic contracts: they are handed to the reachability
+/// walk as inactive sources, so accepting a site does not re-flag
+/// every transitive caller under `panic-path`.
 pub fn run(root: &Path, files: &[PathBuf]) -> Result<Report, AuditError> {
     let mut raw_findings = Vec::new();
     let mut sources: Vec<(String, String)> = Vec::new();
+    let mut indexes: Vec<FileIndex> = Vec::new();
     for file in files {
-        let (findings, source) = scan_file(root, file)?;
+        let (findings, index, source) = analyze_file(root, file)?;
         sources.push((relative(root, file), source));
+        indexes.push(index);
         raw_findings.extend(findings);
     }
 
@@ -210,14 +313,43 @@ pub fn run(root: &Path, files: &[PathBuf]) -> Result<Report, AuditError> {
             .and_then(|(_, src)| src.lines().nth(f.line.saturating_sub(1)))
             .map(str::to_string)
     };
-    let (kept, suppressed, stale) = allowlist::apply(raw_findings, &entries, line_of);
-    issues.extend(stale);
+    let mut used = vec![false; entries.len()];
+    let (kept1, suppressed1) = allowlist::apply_tracked(raw_findings, &entries, line_of, &mut used);
+
+    let suppressed_sources: BTreeSet<(String, usize)> = suppressed1
+        .iter()
+        .filter(|(f, _)| f.rule == Rule::NoUnwrap)
+        .map(|(f, _)| (f.path.clone(), f.line))
+        .collect();
+    let registry = load_span_registry(root)?;
+    let pass2 = xrules::check(&indexes, registry.as_ref(), &suppressed_sources, Mode::Workspace);
+    let (kept2, suppressed2) = allowlist::apply_tracked(pass2, &entries, line_of, &mut used);
+    issues.extend(allowlist::stale_entries(&entries, &used));
+
+    let mut findings = kept1;
+    findings.extend(kept2);
+    let mut suppressed = suppressed1;
+    suppressed.extend(suppressed2);
+    let unsafe_sites = indexes
+        .iter()
+        .flat_map(|ix| {
+            ix.unsafe_sites.iter().map(|s| UnsafeRecord {
+                path: ix.path.clone(),
+                line: s.line,
+                kind: s.kind.label(),
+                context: s.context.clone(),
+                enclosing_fn: s.enclosing_fn.clone(),
+                safety: s.safety.clone(),
+            })
+        })
+        .collect();
 
     Ok(Report {
-        findings: kept,
+        findings,
         suppressed: suppressed.into_iter().map(|(f, e)| (f, e.clone())).collect(),
         allowlist_issues: issues,
         files_scanned: files.len(),
+        unsafe_sites,
     })
 }
 
@@ -236,17 +368,30 @@ pub struct SelfTestFailure {
 /// expected findings, failures)`; the self-test passes when `failures`
 /// is empty **and** at least one finding was expected — a fixture set
 /// that expects nothing proves nothing.
+///
+/// Both passes run: per-file rules plus the cross-file rules over each
+/// fixture's own (single-file) symbol graph, with the real span-name
+/// registry loaded so `span-known` fixtures can exercise membership.
+/// The registry's workspace stale check is skipped — one fixture can
+/// never cover every registered span.
 pub fn self_test(
     root: &Path,
     fixtures: &[PathBuf],
 ) -> Result<(usize, usize, Vec<SelfTestFailure>), AuditError> {
+    let registry = load_span_registry(root)?;
     let mut failures = Vec::new();
     let mut total_expected = 0usize;
     for file in fixtures {
-        let (found, source) = scan_file(root, file)?;
+        let (mut found, index, source) = analyze_file(root, file)?;
         if !source.trim_start().starts_with(SCAN_AS) {
             return Err(AuditError::MissingScanAs { path: file.clone() });
         }
+        found.extend(xrules::check(
+            std::slice::from_ref(&index),
+            registry.as_ref(),
+            &BTreeSet::new(),
+            Mode::SelfTest,
+        ));
         let mut expected: Vec<(Rule, usize)> = Vec::new();
         for (idx, line) in source.lines().enumerate() {
             let mut rest = line;
@@ -393,6 +538,77 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].unexpected.len(), 1); // the unmarked unwrap
         assert_eq!(failures[0].missing, vec![(Rule::NoPrint, 3)]);
+    }
+
+    #[test]
+    fn run_executes_pass2_rules_and_collects_unsafe_inventory() {
+        let root = temp_root("pass2");
+        let f1 = write(
+            &root,
+            "crates/graph/src/a.rs",
+            "unsafe fn bare(p: *const u32) -> u32 { *p }\n\
+             // SAFETY: `p` is valid per the caller contract.\n\
+             unsafe fn fine(p: *const u32) -> u32 { *p }\n",
+        );
+        let report = run(&root, &[f1]).unwrap();
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::UnsafeSafety);
+        assert_eq!(report.findings[0].path, "crates/graph/src/a.rs");
+        assert_eq!(report.unsafe_sites.len(), 2);
+        assert!(report.unsafe_sites[0].safety.is_none());
+        assert!(report.unsafe_sites[1].safety.is_some());
+        let rendered = report.render_unsafe_report();
+        assert!(rendered.contains("2 sites, 1 justified, 1 missing"), "{rendered}");
+        assert!(rendered.contains("crates/graph/src/a.rs:1"), "{rendered}");
+        assert!(rendered.contains("! missing // SAFETY: justification"), "{rendered}");
+    }
+
+    #[test]
+    fn allowlisted_contract_suppresses_panic_path_for_callers() {
+        let root = temp_root("contract");
+        let f1 = write(
+            &root,
+            "crates/graph/src/a.rs",
+            "pub fn caller(x: Option<u32>) -> u32 { documented(x) }\n\
+             pub fn documented(x: Option<u32>) -> u32 { x.expect(\"always set\") }\n",
+        );
+        // without the allowlist: the direct site is a finding and the
+        // caller is flagged transitively
+        let report = run(&root, std::slice::from_ref(&f1)).unwrap();
+        let rules: Vec<Rule> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&Rule::NoUnwrap), "{rules:?}");
+        assert!(rules.contains(&Rule::PanicPath), "{rules:?}");
+        // with it: the documented contract silences both tiers and the
+        // entry is counted used (not stale)
+        write(
+            &root,
+            ALLOWLIST_FILE,
+            "no-unwrap | crates/graph/src/a.rs | x.expect(\"always set\") | contract: field is mandatory\n",
+        );
+        let report = run(&root, &[f1]).unwrap();
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.allowlist_issues.is_empty(), "{:?}", report.allowlist_issues);
+        assert_eq!(report.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn pass2_findings_can_be_allowlisted_and_keep_entries_fresh() {
+        let root = temp_root("pass2allow");
+        let f1 = write(
+            &root,
+            "crates/graph/src/a.rs",
+            "pub fn split(len: usize) -> usize { len / current_num_threads() }\n",
+        );
+        write(
+            &root,
+            ALLOWLIST_FILE,
+            "det-threads | crates/graph/src/a.rs | current_num_threads() | diagnostics only, result unused\n",
+        );
+        let report = run(&root, &[f1]).unwrap();
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.allowlist_issues.is_empty(), "{:?}", report.allowlist_issues);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].0.rule, Rule::DetThreads);
     }
 
     #[test]

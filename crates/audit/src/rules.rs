@@ -17,6 +17,23 @@
 //! |               | follow the `area.verb` convention: two or more non-empty        |
 //! |               | dot-separated segments of `[a-z0-9_]`                           |
 //!
+//! The cross-file rules run in pass 2 over the linked symbol graph
+//! (see [`crate::symgraph`] and [`crate::xrules`]):
+//!
+//! | id              | policy                                                        |
+//! |-----------------|---------------------------------------------------------------|
+//! | `unsafe-safety` | every `unsafe` block/fn/impl/trait carries an adjacent        |
+//! |                 | `// SAFETY:` comment (or `# Safety` doc section)              |
+//! | `panic-path`    | no library function in a result-bearing crate transitively    |
+//! |                 | reaches an unallowlisted panic source through resolved calls  |
+//! | `det-merge`     | parallel `reduce`/`sum` merges carry a `// det: <why          |
+//! |                 | order-safe>` annotation in the same statement                 |
+//! | `det-threads`   | no dependence on `current_num_threads()` /                    |
+//! |                 | `available_parallelism()` outside `vendor/rayon` and `bench`  |
+//! | `span-known`    | every well-shaped span name literal appears in                |
+//! |                 | `crates/audit/span-names.txt` (and every non-fixture entry    |
+//! |                 | there is still used somewhere)                                |
+//!
 //! Scope conventions (see [`FileScope`]): binary targets (`src/bin/`),
 //! integration tests, benches, and `#[cfg(test)]` regions are exempt
 //! from `no-unwrap`, `no-float-eq` and `no-print` — panicking on bad
@@ -46,16 +63,33 @@ pub enum Rule {
     NoPrint,
     /// Span name literal not matching the `area.verb` convention.
     SpanName,
+    /// `unsafe` site without an adjacent `// SAFETY:` justification.
+    UnsafeSafety,
+    /// Library fn in a result-bearing crate transitively reaches a
+    /// panic source.
+    PanicPath,
+    /// Parallel `reduce`/`sum` merge without a `// det:` annotation.
+    DetMerge,
+    /// Thread-count observable outside `vendor/rayon` and `bench`.
+    DetThreads,
+    /// Span name literal missing from (or stale in) the known set.
+    SpanKnown,
 }
 
-/// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 6] = [
+/// All rules, in reporting order. The first six run per file (pass 1),
+/// the rest over the linked symbol graph (pass 2).
+pub const ALL_RULES: [Rule; 11] = [
     Rule::NoUnwrap,
     Rule::NoFloatEq,
     Rule::NoStdHash,
     Rule::NoInstant,
     Rule::NoPrint,
     Rule::SpanName,
+    Rule::UnsafeSafety,
+    Rule::PanicPath,
+    Rule::DetMerge,
+    Rule::DetThreads,
+    Rule::SpanKnown,
 ];
 
 impl Rule {
@@ -69,6 +103,11 @@ impl Rule {
             Rule::NoInstant => "no-instant",
             Rule::NoPrint => "no-print",
             Rule::SpanName => "span-name",
+            Rule::UnsafeSafety => "unsafe-safety",
+            Rule::PanicPath => "panic-path",
+            Rule::DetMerge => "det-merge",
+            Rule::DetThreads => "det-threads",
+            Rule::SpanKnown => "span-known",
         }
     }
 
@@ -149,6 +188,23 @@ impl FileScope {
     fn library_rules_apply(&self, exempt: &[&str]) -> bool {
         !self.is_binary && !exempt.contains(&self.crate_name.as_str())
     }
+
+    /// Whether `no-unwrap` gates this file — the same predicate decides
+    /// which functions can carry panic-reachability *sources*.
+    pub(crate) fn unwrap_checked(&self) -> bool {
+        self.library_rules_apply(&UNWRAP_EXEMPT_CRATES)
+    }
+
+    /// Whether the file belongs to a result-bearing crate.
+    pub(crate) fn result_bearing(&self) -> bool {
+        RESULT_BEARING_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Whether span-name rules cover this file (library code anywhere,
+    /// plus the bench crate's binaries — see `check_file`).
+    pub(crate) fn span_checked(&self) -> bool {
+        !self.is_binary || self.crate_name == "bench"
+    }
 }
 
 /// Half-open token index ranges covered by `#[cfg(test)]`.
@@ -158,7 +214,7 @@ impl FileScope {
 /// body of the annotated item — everything inside its outermost brace
 /// pair — as excluded. Items ending in `;` without a body exclude
 /// through the semicolon.
-fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -246,7 +302,7 @@ fn skip_attribute(tokens: &[Token], i: usize) -> usize {
 /// in this shape group cleanly in trace viewers and survive renames of
 /// surrounding code; anything ad-hoc (`"outer"`, `"Phase 1"`) breaks
 /// the `BENCH_pipeline.json` stage keys derived from them.
-fn valid_span_name(name: &str) -> bool {
+pub(crate) fn valid_span_name(name: &str) -> bool {
     let mut segments = 0usize;
     for seg in name.split('.') {
         if seg.is_empty()
@@ -260,7 +316,7 @@ fn valid_span_name(name: &str) -> bool {
 }
 
 /// Index of the `}` matching the `{` at `open` (or the last token).
-fn matching_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
     let mut j = open;
     while let Some(t) = tokens.get(j) {

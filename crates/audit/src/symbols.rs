@@ -1,0 +1,696 @@
+//! Pass 1 of the workspace analyzer: the per-file item index.
+//!
+//! The token-pattern rules in [`crate::rules`] see one token at a time;
+//! the cross-file rules in [`crate::xrules`] need *structure*: which
+//! functions exist, what they call, where `unsafe` is asserted and
+//! whether the assertion is justified, which parallel merges touch
+//! floats, and which span names the file mints. This module parses the
+//! token stream (plus the captured comments) into a [`FileIndex`] — a
+//! deliberately shallow item model: function items with body extents,
+//! call-expression edges by callee name, panic-source sites, `unsafe`
+//! sites with their `// SAFETY:` provenance, parallel `reduce`/`sum`
+//! sites with their `// det:` annotations, thread-count dependencies,
+//! and literal span names. [`crate::symgraph`] links the per-file
+//! indexes into the workspace symbol graph.
+//!
+//! Full name resolution is out of scope by design (the audit is
+//! zero-dep and must stay fast); the linking pass resolves a call edge
+//! only when the callee name is unique across the workspace, which is
+//! exactly the class of edges a panic-reachability walk can trust.
+
+use crate::lexer::{tokenize_full, Comment, Token, TokenKind};
+use crate::rules::FileScope;
+
+/// Keywords that look like call expressions (`if (…)`, `match (…)`)
+/// but are not, plus binding forms an index expression cannot follow.
+const NON_CALL_KEYWORDS: [&str; 28] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "in", "as", "where", "impl", "dyn", "box", "use", "pub", "mod", "struct",
+    "enum", "trait", "unsafe", "await",
+];
+
+/// The panic family a reachability walk treats as sources: methods
+/// (`.unwrap()` / `.expect()`) and diverging macros.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+/// Parallel-iterator entry points: a `reduce`/`sum` in the same
+/// statement as one of these merges across chunk boundaries.
+const PAR_ENTRIES: [&str; 4] = ["par_iter", "par_iter_mut", "into_par_iter", "par_chunks"];
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name as written (last path segment / method name).
+    pub name: String,
+    /// 1-based line of the callee token.
+    pub line: usize,
+}
+
+/// One direct panic source inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicSite {
+    /// What was matched (`.unwrap()`, `panic!`, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Whether this is an `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Call expressions in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Direct panic-family sites in the body, in source order.
+    pub panics: Vec<PanicSite>,
+    /// Bracket-indexing expressions in the body — potential panic
+    /// sites the explicit-source walk cannot prove guarded; surfaced
+    /// in the inventory report, not gated.
+    pub index_sites: usize,
+}
+
+/// What kind of `unsafe` assertion a site is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// An `unsafe { … }` block.
+    Block,
+    /// An `unsafe fn` item.
+    Fn,
+    /// An `unsafe impl` item.
+    Impl,
+    /// An `unsafe trait` declaration.
+    Trait,
+}
+
+impl UnsafeKind {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "unsafe-block",
+            UnsafeKind::Fn => "unsafe-fn",
+            UnsafeKind::Impl => "unsafe-impl",
+            UnsafeKind::Trait => "unsafe-trait",
+        }
+    }
+}
+
+/// One `unsafe` site with its provenance.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// Site kind.
+    pub kind: UnsafeKind,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// Short source context (`fn get`, `impl Send for TaskRef`, or the
+    /// enclosing function of a block).
+    pub context: String,
+    /// Name of the innermost enclosing function, if any.
+    pub enclosing_fn: Option<String>,
+    /// The justification: body of the adjacent `// SAFETY:` comment
+    /// (or `# Safety` doc section), if present. Consecutive unsafe
+    /// items may share one comment — see [`index_file`].
+    pub safety: Option<String>,
+    /// Whether the site sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// One parallel `reduce`/`sum` merge site.
+#[derive(Clone, Debug)]
+pub struct DetSite {
+    /// `reduce` or `sum`.
+    pub op: String,
+    /// 1-based line of the operator token.
+    pub line: usize,
+    /// Whether the statement contains a parallel-iterator entry point
+    /// — only then does merge order depend on chunking at all.
+    pub parallel: bool,
+    /// Body of the covering `// det:` annotation, if present.
+    pub annotation: Option<String>,
+    /// Whether the site sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// One mention of a thread-count observable.
+#[derive(Clone, Debug)]
+pub struct ThreadSite {
+    /// The identifier matched (`current_num_threads`, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether the site sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// One literal span name minted by the file.
+#[derive(Clone, Debug)]
+pub struct SpanUse {
+    /// The literal name (already `area.verb`-shaped — malformed names
+    /// are the `span-name` rule's problem, not this index's).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether the site sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// Everything pass 1 extracts from one file.
+#[derive(Clone, Debug)]
+pub struct FileIndex {
+    /// The path rules were scoped under (scan path for fixtures).
+    pub path: String,
+    /// Derived scope.
+    pub scope: FileScope,
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// `unsafe` sites, in source order.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Parallel merge sites, in source order.
+    pub det_sites: Vec<DetSite>,
+    /// Thread-count observables, in source order.
+    pub thread_sites: Vec<ThreadSite>,
+    /// Literal span names, in source order.
+    pub span_uses: Vec<SpanUse>,
+}
+
+/// Parse one file into its [`FileIndex`]. `path` decides rule scopes
+/// (use the `//@ scan-as:` path for fixtures).
+pub fn index_file(path: &str, source: &str) -> FileIndex {
+    let lexed = tokenize_full(source);
+    let tokens = &lexed.tokens;
+    let comments = &lexed.comments;
+    let regions = crate::rules::test_regions(tokens);
+    let in_test = |i: usize| regions.iter().any(|&(lo, hi)| i >= lo && i <= hi);
+
+    let mut fns = collect_fns(tokens, &in_test);
+    attribute_bodies(tokens, &mut fns);
+    let unsafe_sites = collect_unsafe(tokens, comments, &fns, &in_test);
+    let det_sites = collect_det(tokens, comments, &in_test);
+    let thread_sites = collect_threads(tokens, &in_test);
+    let span_uses = collect_spans(tokens, &in_test);
+
+    FileIndex {
+        path: path.to_string(),
+        scope: FileScope::from_path(path),
+        fns,
+        unsafe_sites,
+        det_sites,
+        thread_sites,
+        span_uses,
+    }
+}
+
+fn is_keyword_call(name: &str) -> bool {
+    NON_CALL_KEYWORDS.contains(&name)
+}
+
+/// Token-index extent of the body of the `fn` at token `at` (open
+/// brace ..= close brace); empty for bodyless trait declarations.
+fn fn_body_span(tokens: &[Token], at: usize) -> std::ops::Range<usize> {
+    let mut j = at + 2;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('{') {
+            let close = crate::rules::matching_brace(tokens, j);
+            return j..close + 1;
+        }
+        if t.is_punct(';') {
+            break;
+        }
+        j += 1;
+    }
+    j..j
+}
+
+/// First sweep: find every `fn name` item and its flags. Nested fns
+/// become their own items; attribution picks the innermost.
+fn collect_fns(tokens: &[Token], in_test: &dyn Fn(usize) -> bool) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("fn") {
+            if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
+                out.push(FnItem {
+                    name: name.to_string(),
+                    line: tokens[i].line,
+                    is_test: in_test(i),
+                    is_unsafe: i > 0 && tokens[i - 1].is_ident("unsafe"),
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                    index_sites: 0,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Second sweep: walk every token once and attribute call sites, panic
+/// sites and indexing expressions to the *innermost* enclosing
+/// function (closures therefore accrue to their defining function).
+fn attribute_bodies(tokens: &[Token], fns: &mut [FnItem]) {
+    // Body spans in the same order collect_fns emitted items.
+    let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(fns.len());
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).and_then(Token::ident).is_some() {
+            spans.push(fn_body_span(tokens, i));
+        }
+    }
+    debug_assert_eq!(spans.len(), fns.len());
+
+    let innermost = |idx: usize| -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (f, span) in spans.iter().enumerate() {
+            if span.contains(&idx) {
+                best = match best {
+                    Some(b) if spans[b].len() <= spans[f].len() => Some(b),
+                    _ => Some(f),
+                };
+            }
+        }
+        best
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(owner) = innermost(i) else { continue };
+        if let Some(name) = tok.ident() {
+            let next_paren = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+            let next_bang = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            let prev_fn = i > 0 && tokens[i - 1].is_ident("fn");
+            let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+            if next_paren && !prev_fn && !is_keyword_call(name) {
+                if prev_dot && PANIC_METHODS.contains(&name) {
+                    fns[owner]
+                        .panics
+                        .push(PanicSite { what: format!(".{name}()"), line: tok.line });
+                } else {
+                    fns[owner].calls.push(CallSite { name: name.to_string(), line: tok.line });
+                }
+            }
+            if next_bang && PANIC_MACROS.contains(&name) {
+                fns[owner].panics.push(PanicSite { what: format!("{name}!"), line: tok.line });
+            }
+        } else if tok.is_punct('[') && i > 0 {
+            // indexing expression: `expr[` — the previous token ends an
+            // expression (identifier, close paren/bracket)
+            let prev = &tokens[i - 1];
+            let indexes = match &prev.kind {
+                TokenKind::Ident(name) => !is_keyword_call(name),
+                TokenKind::Punct(c) => *c == ')' || *c == ']',
+                _ => false,
+            };
+            if indexes {
+                fns[owner].index_sites += 1;
+            }
+        }
+    }
+}
+
+/// Whether a comment block's body carries a safety justification.
+fn is_safety_text(body: &str) -> bool {
+    body.contains("SAFETY:") || body.contains("# Safety")
+}
+
+/// Third sweep: `unsafe` sites with their provenance comments.
+///
+/// A site's justification is the contiguous comment block ending on
+/// the line directly above it (or a trailing comment on its own line)
+/// whose body mentions `SAFETY:` (or a `# Safety` doc section). One
+/// comment may cover a *run* of consecutive unsafe items — the idiom
+/// for `unsafe impl Send` / `unsafe impl Sync` pairs — so a site on
+/// the line right after a justified site inherits that justification.
+fn collect_unsafe(
+    tokens: &[Token],
+    comments: &[Comment],
+    fns: &[FnItem],
+    in_test: &dyn Fn(usize) -> bool,
+) -> Vec<UnsafeSite> {
+    let mut sites: Vec<UnsafeSite> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let kind = match next {
+            Some(t) if t.is_punct('{') => UnsafeKind::Block,
+            Some(t) if t.is_ident("fn") => UnsafeKind::Fn,
+            Some(t) if t.is_ident("impl") => UnsafeKind::Impl,
+            Some(t) if t.is_ident("trait") => UnsafeKind::Trait,
+            _ => continue, // `unsafe` in other positions (e.g. extern blocks)
+        };
+        let line = tok.line;
+        let enclosing_fn = enclosing_fn_name(fns, line, kind);
+        let context = match kind {
+            UnsafeKind::Block => enclosing_fn
+                .as_deref()
+                .map(|f| format!("block in fn {f}"))
+                .unwrap_or_else(|| "block at file scope".to_string()),
+            _ => render_context(tokens, i + 1),
+        };
+        let safety = adjacent_safety(comments, line).or_else(|| {
+            // one comment may justify a run of consecutive `unsafe
+            // impl` items (the Send/Sync pair idiom) — but only impls:
+            // fns and blocks each need their own contract
+            sites
+                .last()
+                .filter(|prev| {
+                    kind == UnsafeKind::Impl
+                        && prev.kind == UnsafeKind::Impl
+                        && prev.line + 1 == line
+                        && prev.safety.is_some()
+                })
+                .and_then(|prev| prev.safety.clone())
+        });
+        sites.push(UnsafeSite { kind, line, context, enclosing_fn, safety, is_test: in_test(i) });
+    }
+    sites
+}
+
+/// The body of the comment block justifying a site at `line`, if any:
+/// a contiguous run of comments ending on `line - 1`, or a trailing
+/// comment on `line` itself.
+fn adjacent_safety(comments: &[Comment], line: usize) -> Option<String> {
+    let mut block: Vec<&Comment> = Vec::new();
+    let mut want = line - 1;
+    for c in comments.iter().rev() {
+        if c.end_line == want && c.line <= c.end_line {
+            block.push(c);
+            want = c.line.saturating_sub(1);
+        } else if c.end_line < line.saturating_sub(1) || (!block.is_empty() && c.end_line < want) {
+            break;
+        }
+    }
+    block.reverse();
+    let above = block.iter().map(|c| c.body()).collect::<Vec<_>>().join("\n");
+    if !above.is_empty() && is_safety_text(&above) {
+        return Some(above);
+    }
+    let trailing = comments.iter().find(|c| c.line == line)?;
+    let body = trailing.body();
+    if is_safety_text(body) {
+        Some(body.to_string())
+    } else {
+        None
+    }
+}
+
+/// Innermost function whose lines plausibly contain `line` — used only
+/// for report context, so a line-based containment test (definition
+/// line ≤ site line, nearest definition wins) is enough.
+fn enclosing_fn_name(fns: &[FnItem], line: usize, kind: UnsafeKind) -> Option<String> {
+    if matches!(kind, UnsafeKind::Fn) {
+        // the site *is* the fn — name it directly via the nearest item
+        // defined on this line
+        return fns.iter().find(|f| f.line == line).map(|f| f.name.clone());
+    }
+    fns.iter().rfind(|f| f.line <= line).map(|f| f.name.clone())
+}
+
+/// Render a short context snippet from `tokens[start..]` up to the
+/// item's opening brace (capped so reports stay one-line).
+fn render_context(tokens: &[Token], start: usize) -> String {
+    let mut parts = Vec::new();
+    for t in tokens.iter().skip(start).take(12) {
+        match &t.kind {
+            TokenKind::Ident(s) => parts.push(s.clone()),
+            TokenKind::Op(o) => parts.push((*o).to_string()),
+            TokenKind::Punct('{') | TokenKind::Punct(';') => break,
+            TokenKind::Punct(c) => parts.push(c.to_string()),
+            _ => parts.push("…".to_string()),
+        }
+    }
+    parts.join(" ")
+}
+
+/// Fourth sweep: parallel `reduce`/`sum` merge sites and their
+/// `// det:` annotations.
+fn collect_det(
+    tokens: &[Token],
+    comments: &[Comment],
+    in_test: &dyn Fn(usize) -> bool,
+) -> Vec<DetSite> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if name != "reduce" && name != "sum" {
+            continue;
+        }
+        let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+        let next_call = tokens.get(i + 1).is_some_and(|t| t.is_punct('(') || t.is_op("::"));
+        if !prev_dot || !next_call {
+            continue;
+        }
+        let (stmt_start_line, parallel) = scan_statement_back(tokens, i);
+        let annotation = comments
+            .iter()
+            .filter(|c| {
+                c.end_line + 1 >= stmt_start_line && c.line <= tok.line && {
+                    // inside [stmt_start_line - 1, site line]
+                    c.line + 1 >= stmt_start_line
+                }
+            })
+            .find(|c| c.body().contains("det:"))
+            .map(|c| c.body().to_string());
+        out.push(DetSite {
+            op: name.to_string(),
+            line: tok.line,
+            parallel,
+            annotation,
+            is_test: in_test(i),
+        });
+    }
+    out
+}
+
+/// Walk backwards from the merge operator to the start of its
+/// statement (a `;`, or an enclosing `{`/`(` boundary), reporting the
+/// statement's first line and whether a parallel entry point occurs in
+/// it.
+fn scan_statement_back(tokens: &[Token], from: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut parallel = false;
+    let mut first_line = tokens[from].line;
+    let mut j = from;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        match &t.kind {
+            TokenKind::Punct(')') | TokenKind::Punct('}') | TokenKind::Punct(']') => depth += 1,
+            TokenKind::Punct('(') | TokenKind::Punct('{') | TokenKind::Punct('[') => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => break,
+            TokenKind::Ident(name) if PAR_ENTRIES.contains(&name.as_str()) => {
+                parallel = true;
+            }
+            _ => {}
+        }
+        first_line = t.line;
+    }
+    (first_line, parallel)
+}
+
+/// Fifth sweep: thread-count observables.
+fn collect_threads(tokens: &[Token], in_test: &dyn Fn(usize) -> bool) -> Vec<ThreadSite> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_ident("current_num_threads") || t.is_ident("available_parallelism"))
+        .map(|(i, t)| ThreadSite {
+            what: t.ident().unwrap_or_default().to_string(),
+            line: t.line,
+            is_test: in_test(i),
+        })
+        .collect()
+}
+
+/// Sixth sweep: literal span names (well-shaped only — malformed names
+/// belong to the `span-name` rule).
+fn collect_spans(tokens: &[Token], in_test: &dyn Fn(usize) -> bool) -> Vec<SpanUse> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if name != "span" && name != "synthetic" {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some(lit) = tokens.get(i + 2).and_then(Token::str_lit) else { continue };
+        if crate::rules::valid_span_name(lit) {
+            out.push(SpanUse { name: lit.to_string(), line: tok.line, is_test: in_test(i) });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(src: &str) -> FileIndex {
+        index_file("crates/graph/src/x.rs", src)
+    }
+
+    #[test]
+    fn fn_items_calls_and_panics() {
+        let src = "fn a(x: Option<u32>) -> u32 {\n b(x.unwrap())\n}\nfn b(v: u32) -> u32 {\n helper(v); panic!(\"no\")\n}\nfn helper(v: u32) -> u32 { v }";
+        let ix = idx(src);
+        assert_eq!(ix.fns.len(), 3);
+        let a = &ix.fns[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.calls.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(a.panics.len(), 1);
+        assert_eq!(a.panics[0].what, ".unwrap()");
+        let b = &ix.fns[1];
+        assert_eq!(b.calls.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), vec!["helper"]);
+        assert_eq!(b.panics[0].what, "panic!");
+    }
+
+    #[test]
+    fn closures_attribute_to_their_function_and_nested_fns_do_not() {
+        let src = "fn outer() {\n let f = |x: u32| inner_call(x);\n f(1);\n fn nested() { nested_call(); }\n}";
+        let ix = idx(src);
+        let outer = &ix.fns[0];
+        assert!(outer.calls.iter().any(|c| c.name == "inner_call"));
+        assert!(outer.calls.iter().any(|c| c.name == "f"));
+        assert!(!outer.calls.iter().any(|c| c.name == "nested_call"));
+        let nested = &ix.fns[1];
+        assert_eq!(nested.name, "nested");
+        assert!(nested.calls.iter().any(|c| c.name == "nested_call"));
+    }
+
+    #[test]
+    fn indexing_is_counted_not_collected() {
+        let src = "fn f(xs: &[u32], i: usize) -> u32 {\n let a = xs[i];\n let b = [0u32; 4];\n a + b[0]\n}";
+        let ix = idx(src);
+        // `xs[i]` and `b[0]` index; `[0u32; 4]` is an array literal
+        assert_eq!(ix.fns[0].index_sites, 2);
+    }
+
+    #[test]
+    fn unsafe_sites_with_and_without_safety() {
+        let src = "\
+// SAFETY: the pointer is valid for the call.\n\
+unsafe fn justified(p: *const u32) -> u32 { *p }\n\
+unsafe fn bare(p: *const u32) -> u32 { *p }\n\
+fn body() {\n\
+    // SAFETY: slot is in bounds.\n\
+    let _ = unsafe { raw() };\n\
+    let _ = unsafe { raw() };\n\
+}\n";
+        let ix = idx(src);
+        assert_eq!(ix.unsafe_sites.len(), 4);
+        assert!(ix.unsafe_sites[0].safety.is_some());
+        assert_eq!(ix.unsafe_sites[0].kind, UnsafeKind::Fn);
+        assert!(ix.unsafe_sites[1].safety.is_none());
+        assert!(ix.unsafe_sites[2].safety.is_some());
+        assert_eq!(ix.unsafe_sites[2].kind, UnsafeKind::Block);
+        assert_eq!(ix.unsafe_sites[2].enclosing_fn.as_deref(), Some("body"));
+        // blocks never inherit from a preceding site — each needs its
+        // own contract
+        assert!(ix.unsafe_sites[3].safety.is_none());
+    }
+
+    #[test]
+    fn unsafe_impl_pair_shares_one_comment() {
+        let src = "\
+struct W(*const u32);\n\
+// SAFETY: the pointee is never mutated.\n\
+unsafe impl Send for W {}\n\
+unsafe impl Sync for W {}\n\
+unsafe impl Other for W {}\n";
+        let ix = idx(src);
+        assert!(ix.unsafe_sites[0].safety.is_some());
+        assert!(ix.unsafe_sites[1].safety.is_some(), "consecutive site inherits");
+        // line 5 follows line 4 which inherited → chains
+        assert!(ix.unsafe_sites[2].safety.is_some());
+        assert!(ix.unsafe_sites[0].context.contains("impl Send for W"));
+    }
+
+    #[test]
+    fn doc_safety_section_counts() {
+        let src = "\
+/// Does raw things.\n\
+///\n\
+/// # Safety\n\
+///\n\
+/// `p` must be valid.\n\
+unsafe fn documented(p: *const u32) -> u32 { *p }\n";
+        let ix = idx(src);
+        assert!(ix.unsafe_sites[0].safety.is_some());
+    }
+
+    #[test]
+    fn det_sites_parallel_detection_and_annotation() {
+        let src = "\
+fn seq(xs: &[f64]) -> f64 {\n\
+    xs.iter().sum()\n\
+}\n\
+fn par_unannotated(xs: &[f64]) -> f64 {\n\
+    xs.par_iter().map(|x| x.abs()).reduce(|| 0.0, f64::max)\n\
+}\n\
+fn par_annotated(xs: &[f64]) -> f64 {\n\
+    // det: f64::max is exact, merge order cannot matter\n\
+    xs.par_iter().map(|x| x.abs()).reduce(|| 0.0, f64::max)\n\
+}\n";
+        let ix = idx(src);
+        assert_eq!(ix.det_sites.len(), 3);
+        assert!(!ix.det_sites[0].parallel);
+        assert!(ix.det_sites[1].parallel);
+        assert!(ix.det_sites[1].annotation.is_none());
+        assert!(ix.det_sites[2].parallel);
+        assert!(ix.det_sites[2].annotation.is_some());
+    }
+
+    #[test]
+    fn det_statement_scan_crosses_closure_braces() {
+        let src = "\
+fn grad(data: &[u32]) -> u32 {\n\
+    let total = data\n\
+        .par_chunks(8)\n\
+        .map(|c| {\n\
+            let mut s = 0;\n\
+            for x in c { s += x; }\n\
+            s\n\
+        })\n\
+        .reduce(|| 0, |a, b| a + b);\n\
+    total\n\
+}\n";
+        let ix = idx(src);
+        assert_eq!(ix.det_sites.len(), 1);
+        assert!(ix.det_sites[0].parallel);
+        assert_eq!(ix.det_sites[0].line, 9);
+    }
+
+    #[test]
+    fn thread_and_span_collection() {
+        let src = "\
+fn f() {\n\
+    let n = current_num_threads();\n\
+    let _s = span(\"graph.knn\");\n\
+    let _bad = span(\"NotValid\");\n\
+    let _ = n;\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { let _ = current_num_threads(); span(\"x.y\"); }\n\
+}\n";
+        let ix = idx(src);
+        assert_eq!(ix.thread_sites.len(), 2);
+        assert!(!ix.thread_sites[0].is_test);
+        assert!(ix.thread_sites[1].is_test);
+        // malformed names are excluded; test-region spans flagged as such
+        let names: Vec<(&str, bool)> =
+            ix.span_uses.iter().map(|s| (s.name.as_str(), s.is_test)).collect();
+        assert_eq!(names, vec![("graph.knn", false), ("x.y", true)]);
+    }
+}

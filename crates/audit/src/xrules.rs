@@ -1,0 +1,348 @@
+//! Pass 2: cross-file rules over the linked symbol graph.
+//!
+//! Four rule families, each consuming the pass-1 [`FileIndex`]es:
+//!
+//! * `unsafe-safety` — every `unsafe` site (block, fn, impl, trait)
+//!   anywhere in the scanned tree must carry an adjacent `// SAFETY:`
+//!   comment (or a `# Safety` doc section). Test code included: an
+//!   unjustified `unsafe` in a test is still unjustified.
+//! * `panic-path` — no library function of a result-bearing crate may
+//!   transitively reach a panic source through resolved call edges.
+//!   Allowlist-suppressed `no-unwrap` sites are *documented contracts*
+//!   and do not seed the walk, so accepting a site once does not
+//!   re-flag every caller.
+//! * `det-merge` / `det-threads` — determinism lints: parallel
+//!   `reduce`/`sum` merges need a `// det: <why order-safe>`
+//!   annotation in their statement, and nothing outside `vendor/rayon`
+//!   and `bench` may observe the thread count at all.
+//! * `span-known` — every well-shaped span name literal must appear in
+//!   `crates/audit/span-names.txt`, and (workspace mode only) every
+//!   non-`[fixture]` entry there must still be used somewhere, so the
+//!   registry can't rot in either direction.
+
+use std::collections::BTreeSet;
+
+use crate::rules::{Finding, Rule};
+use crate::symbols::FileIndex;
+use crate::symgraph::{Reach, SymbolGraph};
+
+/// Crates whose behaviour may legitimately depend on the thread count:
+/// the pool implements it, the bench harness reports it.
+const THREAD_EXEMPT_CRATES: [&str; 2] = ["rayon", "bench"];
+
+/// The parsed known-span registry (`crates/audit/span-names.txt`).
+#[derive(Clone, Debug, Default)]
+pub struct SpanRegistry {
+    /// Entries in file order.
+    pub entries: Vec<SpanEntry>,
+    /// Path the registry was loaded from, for findings.
+    pub path: String,
+}
+
+/// One line of the registry.
+#[derive(Clone, Debug)]
+pub struct SpanEntry {
+    /// The span name.
+    pub name: String,
+    /// 1-based line in the registry file.
+    pub line: usize,
+    /// `[fixture]`-tagged names exist only in audit fixtures and are
+    /// exempt from the workspace stale check.
+    pub fixture: bool,
+}
+
+impl SpanRegistry {
+    /// Parse the registry format: one name per line, optional
+    /// ` [fixture]` tag, `#` comments and blank lines ignored.
+    pub fn parse(path: &str, contents: &str) -> SpanRegistry {
+        let mut entries = Vec::new();
+        for (i, raw) in contents.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (name, fixture) = match line.strip_suffix("[fixture]") {
+                Some(rest) => (rest.trim(), true),
+                None => (line, false),
+            };
+            entries.push(SpanEntry { name: name.to_string(), line: i + 1, fixture });
+        }
+        SpanRegistry { entries, path: path.to_string() }
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+}
+
+/// How pass 2 is being run — workspace mode additionally checks the
+/// span registry for stale entries, which a single-fixture self-test
+/// run cannot meaningfully do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Full workspace scan.
+    Workspace,
+    /// One fixture at a time (`--self-test`).
+    SelfTest,
+}
+
+/// Run every pass-2 rule. `suppressed_sources` holds `(path, line)`
+/// pairs of allowlist-accepted `no-unwrap` findings — documented panic
+/// contracts that must not seed the reachability walk. `registry` is
+/// `None` when no `span-names.txt` exists (scratch trees in unit
+/// tests); the span-closure rule is skipped entirely then rather than
+/// flagging every name against an empty set.
+pub fn check(
+    files: &[FileIndex],
+    registry: Option<&SpanRegistry>,
+    suppressed_sources: &BTreeSet<(String, usize)>,
+    mode: Mode,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_unsafe(files, &mut findings);
+    check_panic_paths(files, suppressed_sources, &mut findings);
+    check_det(files, &mut findings);
+    if let Some(registry) = registry {
+        check_spans(files, registry, mode, &mut findings);
+    }
+    findings
+}
+
+/// `unsafe-safety`: unjustified unsafe sites, everywhere.
+fn check_unsafe(files: &[FileIndex], findings: &mut Vec<Finding>) {
+    for file in files {
+        for site in &file.unsafe_sites {
+            if site.safety.is_none() {
+                findings.push(Finding {
+                    rule: Rule::UnsafeSafety,
+                    path: file.path.clone(),
+                    line: site.line,
+                    what: format!(
+                        "{} ({}) without a // SAFETY: comment",
+                        site.kind.label(),
+                        site.context
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `panic-path`: result-bearing library fns that reach a panic through
+/// calls. Functions with an *active direct* source are already flagged
+/// by `no-unwrap` — this rule reports only the transitive tier, so one
+/// bad sink yields one per-site finding plus one finding per caller,
+/// not two findings for the sink itself.
+fn check_panic_paths(
+    files: &[FileIndex],
+    suppressed_sources: &BTreeSet<(String, usize)>,
+    findings: &mut Vec<Finding>,
+) {
+    let graph = SymbolGraph::link(files);
+    let active = |path: &str, line: usize| !suppressed_sources.contains(&(path.to_string(), line));
+    let reach = graph.panic_reachability(&active);
+    for (&(fi, gi), r) in &reach {
+        let Reach::Via(_) = r else { continue };
+        let file = &files[fi];
+        if !file.scope.result_bearing() || file.scope.is_binary {
+            continue;
+        }
+        let f = &file.fns[gi];
+        findings.push(Finding {
+            rule: Rule::PanicPath,
+            path: file.path.clone(),
+            line: f.line,
+            what: format!("fn {} can panic: {}", f.name, graph.render_path((fi, gi), &reach)),
+        });
+    }
+}
+
+/// `det-merge` + `det-threads`.
+fn check_det(files: &[FileIndex], findings: &mut Vec<Finding>) {
+    for file in files {
+        let crate_name = file.scope.crate_name.as_str();
+        // det-merge: vendor/rayon implements the merges themselves
+        // (its `reduce` is the ordered combiner, not a user of one)
+        // and bench binaries don't publish results.
+        let merge_applies = !THREAD_EXEMPT_CRATES.contains(&crate_name);
+        if merge_applies {
+            for site in &file.det_sites {
+                if site.parallel && !site.is_test && site.annotation.is_none() {
+                    findings.push(Finding {
+                        rule: Rule::DetMerge,
+                        path: file.path.clone(),
+                        line: site.line,
+                        what: format!(
+                            "parallel .{}() merge without a // det: order-safety note",
+                            site.op
+                        ),
+                    });
+                }
+            }
+        }
+        // det-threads: behaviour must not observe the worker count.
+        if !THREAD_EXEMPT_CRATES.contains(&crate_name) {
+            for site in &file.thread_sites {
+                if site.is_test {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: Rule::DetThreads,
+                    path: file.path.clone(),
+                    line: site.line,
+                    what: format!("{}() observed outside vendor/rayon and bench", site.what),
+                });
+            }
+        }
+    }
+}
+
+/// `span-known`: usage ⊆ registry, and (workspace) registry ⊆ usage
+/// for non-fixture entries.
+fn check_spans(
+    files: &[FileIndex],
+    registry: &SpanRegistry,
+    mode: Mode,
+    findings: &mut Vec<Finding>,
+) {
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for file in files {
+        if !file.scope.span_checked() {
+            continue;
+        }
+        for span in &file.span_uses {
+            if span.is_test {
+                continue;
+            }
+            used.insert(span.name.as_str());
+            if !registry.contains(&span.name) {
+                findings.push(Finding {
+                    rule: Rule::SpanKnown,
+                    path: file.path.clone(),
+                    line: span.line,
+                    what: format!("span name \"{}\" is not in {}", span.name, registry.path),
+                });
+            }
+        }
+    }
+    if mode == Mode::Workspace {
+        for entry in &registry.entries {
+            if !entry.fixture && !used.contains(entry.name.as_str()) {
+                findings.push(Finding {
+                    rule: Rule::SpanKnown,
+                    path: registry.path.clone(),
+                    line: entry.line,
+                    what: format!("stale registry entry \"{}\": span no longer minted", entry.name),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::index_file;
+
+    fn check_one(
+        path: &str,
+        src: &str,
+        registry: Option<&SpanRegistry>,
+        mode: Mode,
+    ) -> Vec<Finding> {
+        let files = vec![index_file(path, src)];
+        check(&files, registry, &BTreeSet::new(), mode)
+    }
+
+    fn ids(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.id()).collect()
+    }
+
+    #[test]
+    fn registry_parses_comments_and_fixture_tags() {
+        let reg = SpanRegistry::parse(
+            "crates/audit/span-names.txt",
+            "# header\n\ngraph.knn\narea.verb [fixture]\ncrf.train # trailer\n",
+        );
+        assert_eq!(reg.entries.len(), 3);
+        assert_eq!(reg.entries[0].name, "graph.knn");
+        assert!(!reg.entries[0].fixture);
+        assert!(reg.entries[1].fixture);
+        assert_eq!(reg.entries[1].line, 4);
+        assert_eq!(reg.entries[2].name, "crf.train");
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged_everywhere_even_tests() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { let _ = unsafe { raw() }; }\n\
+}\n";
+        let f = check_one("crates/graph/src/x.rs", src, None, Mode::Workspace);
+        assert_eq!(ids(&f), vec!["unsafe-safety"]);
+    }
+
+    #[test]
+    fn panic_path_reports_only_result_bearing_callers() {
+        let files = vec![
+            index_file(
+                "crates/graph/src/a.rs",
+                "pub fn caller(x: Option<u32>) -> u32 { sink(x) }\n",
+            ),
+            index_file(
+                "crates/obs/src/b.rs",
+                "pub fn other_caller(x: Option<u32>) -> u32 { sink(x) }\npub fn sink(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            ),
+        ];
+        let f = check(&files, None, &BTreeSet::new(), Mode::Workspace);
+        let pp: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::PanicPath).collect();
+        // graph caller flagged; obs caller is not result-bearing
+        assert_eq!(pp.len(), 1);
+        assert_eq!(pp[0].path, "crates/graph/src/a.rs");
+        assert!(pp[0].what.contains("caller -> sink"), "{}", pp[0].what);
+    }
+
+    #[test]
+    fn suppressed_contract_does_not_taint_callers() {
+        let files = vec![index_file(
+            "crates/graph/src/a.rs",
+            "pub fn caller(x: Option<u32>) -> u32 { documented(x) }\npub fn documented(x: Option<u32>) -> u32 { x.expect(\"contract\") }\n",
+        )];
+        let mut suppressed = BTreeSet::new();
+        suppressed.insert(("crates/graph/src/a.rs".to_string(), 2));
+        let f = check(&files, None, &suppressed, Mode::Workspace);
+        assert!(f.iter().all(|f| f.rule != Rule::PanicPath), "{f:?}");
+    }
+
+    #[test]
+    fn det_rules_respect_crate_exemptions() {
+        let src = "\
+pub fn merge(xs: &[f64]) -> f64 {\n\
+    xs.par_iter().cloned().reduce(|| 0.0, f64::max)\n\
+}\n\
+pub fn threads() -> usize { current_num_threads() }\n";
+        let flagged = check_one("crates/graph/src/x.rs", src, None, Mode::Workspace);
+        assert_eq!(ids(&flagged), vec!["det-merge", "det-threads"]);
+        let exempt = check_one("vendor/rayon/src/x.rs", src, None, Mode::Workspace);
+        assert!(exempt.is_empty(), "{exempt:?}");
+        let bench = check_one("crates/bench/src/x.rs", src, None, Mode::Workspace);
+        assert!(bench.is_empty(), "{bench:?}");
+    }
+
+    #[test]
+    fn span_known_flags_unknown_and_stale_but_not_fixture_entries() {
+        let reg = SpanRegistry::parse(
+            "crates/audit/span-names.txt",
+            "graph.knn\nnever.used\narea.verb [fixture]\n",
+        );
+        let src = "pub fn f() { let _ = span(\"graph.knn\"); let _ = span(\"brand.new\"); }\n";
+        let f = check_one("crates/core/src/x.rs", src, Some(&reg), Mode::Workspace);
+        assert_eq!(ids(&f), vec!["span-known", "span-known"]);
+        assert!(f[0].what.contains("brand.new"));
+        assert!(f[1].what.contains("never.used"));
+        // self-test mode skips the stale direction
+        let st = check_one("crates/core/src/x.rs", src, Some(&reg), Mode::SelfTest);
+        assert_eq!(ids(&st), vec!["span-known"]);
+    }
+}

@@ -74,6 +74,9 @@ impl ChainCrf {
                 }
                 (nll, g)
             })
+            // det: chunk boundaries are a pure function of data length
+            // (see above) and the pool merges slots in index order, so
+            // this float regrouping is fixed for a given corpus.
             .reduce(
                 || (0.0, vec![0.0; n]),
                 |(nll_a, mut ga), (nll_b, gb)| {

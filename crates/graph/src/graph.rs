@@ -19,6 +19,16 @@ pub enum GraphBuildError {
         /// The offending total.
         edges: usize,
     },
+    /// An adjacency list names a neighbour outside `0..vertices` —
+    /// propagation would index past the belief arrays.
+    NeighborOutOfRange {
+        /// Vertex whose list holds the bad entry.
+        vertex: usize,
+        /// The out-of-range neighbour id.
+        neighbor: u32,
+        /// Number of vertices the lists describe.
+        vertices: usize,
+    },
 }
 
 impl std::fmt::Display for GraphBuildError {
@@ -29,16 +39,36 @@ impl std::fmt::Display for GraphBuildError {
                 "adjacency lists hold {edges} edges, but u32 CSR offsets \
                  address at most {MAX_EDGES}"
             ),
+            GraphBuildError::NeighborOutOfRange { vertex, neighbor, vertices } => write!(
+                f,
+                "vertex {vertex} lists neighbour {neighbor}, but the graph \
+                 has only {vertices} vertices"
+            ),
         }
     }
 }
 
 impl std::error::Error for GraphBuildError {}
 
-/// The edge-count precondition shared by both constructors.
-fn check_edge_count(total: usize) -> Result<(), GraphBuildError> {
-    if total > MAX_EDGES {
+/// The edge-count precondition shared by both constructors, with the
+/// limit injectable so tests can exercise the overflow path without
+/// allocating [`MAX_EDGES`] real edges.
+fn check_edge_count(total: usize, max_edges: usize) -> Result<(), GraphBuildError> {
+    if total > max_edges {
         return Err(GraphBuildError::TooManyEdges { edges: total });
+    }
+    Ok(())
+}
+
+/// The neighbour-range precondition of the fallible constructor.
+fn check_neighbor_range(adj: &[Vec<(u32, f32)>]) -> Result<(), GraphBuildError> {
+    let n = adj.len();
+    for (vertex, list) in adj.iter().enumerate() {
+        for &(neighbor, _) in list {
+            if neighbor as usize >= n {
+                return Err(GraphBuildError::NeighborOutOfRange { vertex, neighbor, vertices: n });
+            }
+        }
     }
     Ok(())
 }
@@ -69,13 +99,27 @@ impl KnnGraph {
 
     /// Fallible [`KnnGraph::from_adjacency`]: returns a typed
     /// [`GraphBuildError`] instead of panicking when the edge count
-    /// exceeds what `u32` CSR offsets can address.
+    /// exceeds what `u32` CSR offsets can address or a list names a
+    /// neighbour outside the vertex range (the panicking constructor
+    /// only catches that in debug builds).
     pub fn try_from_adjacency(
         adj: Vec<Vec<(u32, f32)>>,
         k: usize,
     ) -> Result<KnnGraph, GraphBuildError> {
+        Self::try_from_adjacency_with_limit(adj, k, MAX_EDGES)
+    }
+
+    /// [`KnnGraph::try_from_adjacency`] with the edge budget as a
+    /// parameter, so tests can drive the overflow path with small
+    /// inputs instead of `u32::MAX` real edges.
+    fn try_from_adjacency_with_limit(
+        adj: Vec<Vec<(u32, f32)>>,
+        k: usize,
+        max_edges: usize,
+    ) -> Result<KnnGraph, GraphBuildError> {
         let total: usize = adj.iter().map(Vec::len).sum();
-        check_edge_count(total)?;
+        check_edge_count(total, max_edges)?;
+        check_neighbor_range(&adj)?;
         Ok(Self::build(adj, k, total))
     }
 
@@ -373,12 +417,61 @@ mod tests {
 
     #[test]
     fn edge_count_guard_accepts_up_to_u32_max() {
-        assert_eq!(check_edge_count(0), Ok(()));
-        assert_eq!(check_edge_count(MAX_EDGES), Ok(()));
+        assert_eq!(check_edge_count(0, MAX_EDGES), Ok(()));
+        assert_eq!(check_edge_count(MAX_EDGES, MAX_EDGES), Ok(()));
         assert_eq!(
-            check_edge_count(MAX_EDGES + 1),
+            check_edge_count(MAX_EDGES + 1, MAX_EDGES),
             Err(GraphBuildError::TooManyEdges { edges: MAX_EDGES + 1 })
         );
+    }
+
+    #[test]
+    fn try_from_adjacency_rejects_edge_overflow() {
+        // 4 vertices, 4 edges, budget of 3 — the injected limit drives
+        // the same rejection path `MAX_EDGES` would at u32::MAX edges.
+        let adj = vec![vec![(1, 0.5)], vec![(2, 0.4)], vec![(0, 0.3)], vec![(0, 0.9)]];
+        let err = KnnGraph::try_from_adjacency_with_limit(adj.clone(), 1, 3)
+            .expect_err("4 edges over a 3-edge budget");
+        assert_eq!(err, GraphBuildError::TooManyEdges { edges: 4 });
+        // exactly at the budget is fine
+        assert!(KnnGraph::try_from_adjacency_with_limit(adj, 1, 4).is_ok());
+    }
+
+    #[test]
+    fn try_from_adjacency_rejects_out_of_range_neighbors() {
+        // vertex 1 points at vertex 7 of a 3-vertex graph
+        let adj = vec![vec![(1, 0.5)], vec![(7, 0.4)], vec![(0, 0.3)]];
+        let err = KnnGraph::try_from_adjacency(adj, 1).expect_err("neighbour 7 of 3");
+        assert_eq!(
+            err,
+            GraphBuildError::NeighborOutOfRange { vertex: 1, neighbor: 7, vertices: 3 }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("vertex 1"), "{msg}");
+        assert!(msg.contains("neighbour 7"), "{msg}");
+        assert!(msg.contains("3 vertices"), "{msg}");
+    }
+
+    #[test]
+    fn try_from_adjacency_overflow_check_runs_before_range_check() {
+        // both preconditions violated: the cheap O(n) edge count wins
+        let adj = vec![vec![(9, 0.5), (8, 0.4)], vec![(0, 0.3)]];
+        let err = KnnGraph::try_from_adjacency_with_limit(adj, 2, 2)
+            .expect_err("3 edges over a 2-edge budget");
+        assert!(matches!(err, GraphBuildError::TooManyEdges { edges: 3 }));
+    }
+
+    #[test]
+    fn try_from_adjacency_accepts_asymmetric_lists() {
+        // directed kNN lists are legitimately asymmetric (0→1 without
+        // 1→0); only symmetrized() closes them. Asymmetry must not be
+        // confused with invalidity.
+        let adj = vec![vec![(1, 0.5)], vec![], vec![(0, 0.2)]];
+        let g = KnnGraph::try_from_adjacency(adj, 1).expect("asymmetric but valid");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(1), 0);
+        let sym = g.symmetrized();
+        assert_eq!(sym.out_degree(1), 1, "symmetrization adds the reverse edge");
     }
 
     #[test]

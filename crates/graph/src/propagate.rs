@@ -426,6 +426,8 @@ pub fn propagate_reference(
             .par_iter()
             .zip(buf.par_iter())
             .map(|(a, b)| a.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max))
+            // det: f64::max is exact and associative-commutative over
+            // non-NaN inputs, so the merge order cannot change the bits.
             .reduce(|| 0.0, f64::max);
         std::mem::swap(x, &mut buf);
     }

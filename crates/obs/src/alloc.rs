@@ -110,7 +110,13 @@ mod install {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| Some(c.saturating_sub(n)));
     }
 
+    // SAFETY: every method delegates verbatim to `System` and only
+    // adds relaxed atomic counter updates on top, so the allocator
+    // contract (layout fidelity, no unwinding, thread safety) is
+    // exactly `System`'s.
     unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; we
+        // forward `layout` unchanged to `System`.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             let p = System.alloc(layout);
             if !p.is_null() {
@@ -119,6 +125,7 @@ mod install {
             p
         }
 
+        // SAFETY: same delegation as `alloc`, zero-filled variant.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             let p = System.alloc_zeroed(layout);
             if !p.is_null() {
@@ -127,11 +134,15 @@ mod install {
             p
         }
 
+        // SAFETY: caller guarantees `ptr` came from this allocator
+        // with `layout`; forwarded unchanged to `System`.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout);
             sub(layout.size() as u64);
         }
 
+        // SAFETY: caller guarantees `ptr`/`layout` pair per the
+        // `GlobalAlloc::realloc` contract; forwarded unchanged.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             let p = System.realloc(ptr, layout, new_size);
             if !p.is_null() {

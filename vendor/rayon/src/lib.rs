@@ -80,7 +80,7 @@ pub struct SliceSource<'a, T> {
     slice: &'a [T],
 }
 
-// Safety: hands out `&T` by index — plain shared access.
+// SAFETY: hands out `&T` by index — plain shared access.
 unsafe impl<'a, T: Sync> Source for SliceSource<'a, T> {
     type Item = &'a T;
 
@@ -88,6 +88,8 @@ unsafe impl<'a, T: Sync> Source for SliceSource<'a, T> {
         self.slice.len()
     }
 
+    // SAFETY: caller passes `i < len()`; shared borrows may be handed
+    // out any number of times, so the at-most-once clause is vacuous.
     unsafe fn get(&self, i: usize) -> &'a T {
         &self.slice[i]
     }
@@ -101,12 +103,14 @@ pub struct SliceMutSource<'a, T> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
-// Safety: `get` hands each element's `&mut` to exactly one consumer
+// SAFETY: `get` hands each element's `&mut` to exactly one consumer
 // (the at-most-once index contract), so sharing the source across
 // threads shares nothing but disjoint `T: Send` borrows.
 unsafe impl<T: Send> Send for SliceMutSource<'_, T> {}
 unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
 
+// SAFETY: the at-most-once index contract means each `&mut` borrow is
+// created exactly once, so no aliasing `&mut` can exist.
 unsafe impl<'a, T: Send> Source for SliceMutSource<'a, T> {
     type Item = &'a mut T;
 
@@ -114,9 +118,11 @@ unsafe impl<'a, T: Send> Source for SliceMutSource<'a, T> {
         self.len
     }
 
+    // SAFETY: bounds re-checked here; disjointness is the caller's
+    // at-most-once contract.
     unsafe fn get(&self, i: usize) -> &'a mut T {
         assert!(i < self.len);
-        // Safety: in-bounds, and disjoint per the index contract.
+        // SAFETY: in-bounds, and disjoint per the index contract.
         unsafe { &mut *self.ptr.add(i) }
     }
 }
@@ -127,7 +133,7 @@ pub struct ChunksSource<'a, T> {
     size: usize,
 }
 
-// Safety: hands out shared subslices — plain shared access.
+// SAFETY: hands out shared subslices — plain shared access.
 unsafe impl<'a, T: Sync> Source for ChunksSource<'a, T> {
     type Item = &'a [T];
 
@@ -135,6 +141,8 @@ unsafe impl<'a, T: Sync> Source for ChunksSource<'a, T> {
         self.slice.len().div_ceil(self.size)
     }
 
+    // SAFETY: caller passes `i < len()`; the subslice arithmetic below
+    // clamps to the slice end, so indexing cannot go out of bounds.
     unsafe fn get(&self, i: usize) -> &'a [T] {
         let start = i * self.size;
         let end = (start + self.size).min(self.slice.len());
@@ -147,11 +155,13 @@ pub struct VecSource<T> {
     buf: ManuallyDrop<Vec<T>>,
 }
 
-// Safety: items are only ever *moved out*, each at most once, so no
+// SAFETY: items are only ever *moved out*, each at most once, so no
 // `&T` is ever shared between threads; `T: Send` covers the move.
 unsafe impl<T: Send> Send for VecSource<T> {}
 unsafe impl<T: Send> Sync for VecSource<T> {}
 
+// SAFETY: `get` moves each element out at most once (caller contract),
+// and `Drop` never touches moved-out slots.
 unsafe impl<T: Send> Source for VecSource<T> {
     type Item = T;
 
@@ -159,9 +169,11 @@ unsafe impl<T: Send> Source for VecSource<T> {
         self.buf.len()
     }
 
+    // SAFETY: bounds re-checked here; the at-most-once contract makes
+    // the `ptr::read` below a move rather than a duplication.
     unsafe fn get(&self, i: usize) -> T {
         assert!(i < self.buf.len());
-        // Safety: in-bounds, and the at-most-once contract makes this
+        // SAFETY: in-bounds, and the at-most-once contract makes this
         // a move, not a duplication.
         unsafe { std::ptr::read(self.buf.as_ptr().add(i)) }
     }
@@ -173,9 +185,9 @@ impl<T> Drop for VecSource<T> {
         // items were moved out by `get`, so dropping them here would
         // double-drop. Items never consumed (a cancelled job's tail)
         // leak, which is safe.
-        // Safety: `buf` is not used again after `take`.
+        // SAFETY: `buf` is not used again after `take`.
         let mut vec = unsafe { ManuallyDrop::take(&mut self.buf) };
-        // Safety: 0 ≤ capacity, and no initialized elements remain
+        // SAFETY: 0 ≤ capacity, and no initialized elements remain
         // under our management.
         unsafe { vec.set_len(0) };
     }
@@ -189,7 +201,7 @@ pub struct RangeSource<T> {
 
 macro_rules! range_source {
     ($($t:ty),*) => {$(
-        // Safety: produces values, shares nothing.
+        // SAFETY: produces values, shares nothing.
         unsafe impl Source for RangeSource<$t> {
             type Item = $t;
 
@@ -197,6 +209,8 @@ macro_rules! range_source {
                 self.len
             }
 
+            // SAFETY: computes a value from `start + i`; no memory is
+            // touched, so the index contract is vacuous.
             unsafe fn get(&self, i: usize) -> $t {
                 self.start + i as $t
             }
@@ -212,7 +226,7 @@ pub struct ZipSource<A, B> {
     b: B,
 }
 
-// Safety: forwards the index contract to both inner sources.
+// SAFETY: forwards the index contract to both inner sources.
 unsafe impl<A: Source, B: Source> Source for ZipSource<A, B> {
     type Item = (A::Item, B::Item);
 
@@ -220,8 +234,10 @@ unsafe impl<A: Source, B: Source> Source for ZipSource<A, B> {
         self.a.len().min(self.b.len())
     }
 
+    // SAFETY: forwards the caller's contract to both inner sources;
+    // `len()` is the min of the two, so `i` is in range for both.
     unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
-        // Safety: forwarded contract; `i` is in range for both.
+        // SAFETY: forwarded contract; `i` is in range for both.
         unsafe { (self.a.get(i), self.b.get(i)) }
     }
 }
@@ -231,7 +247,7 @@ pub struct EnumerateSource<S> {
     inner: S,
 }
 
-// Safety: forwards the index contract to the inner source.
+// SAFETY: forwards the index contract to the inner source.
 unsafe impl<S: Source> Source for EnumerateSource<S> {
     type Item = (usize, S::Item);
 
@@ -239,8 +255,10 @@ unsafe impl<S: Source> Source for EnumerateSource<S> {
         self.inner.len()
     }
 
+    // SAFETY: forwards the caller's contract unchanged to the inner
+    // source; `len()` is the inner length.
     unsafe fn get(&self, i: usize) -> (usize, S::Item) {
-        // Safety: forwarded contract.
+        // SAFETY: forwarded contract.
         (i, unsafe { self.inner.get(i) })
     }
 }
@@ -278,7 +296,7 @@ impl<S: Source> Pipeline for SourcePipe<S> {
 
     fn feed(&self, range: Range<usize>, sink: &mut dyn FnMut(S::Item)) {
         for i in range {
-            // Safety: the driver hands out disjoint in-bounds ranges,
+            // SAFETY: the driver hands out disjoint in-bounds ranges,
             // so each index is consumed exactly once.
             sink(unsafe { self.source.get(i) });
         }

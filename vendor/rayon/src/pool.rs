@@ -80,7 +80,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// returns — the borrow it was erased from outlives every dereference.
 struct TaskRef(*const (dyn Fn(usize) + Sync));
 
-// Safety: the pointee is `Sync` (shared execution from many threads is
+// SAFETY: the pointee is `Sync` (shared execution from many threads is
 // its purpose) and is only used within the submitting borrow's
 // lifetime, as argued on `TaskRef` and enforced by the job latch.
 unsafe impl Send for TaskRef {}
@@ -111,7 +111,7 @@ impl Job {
     /// it to the completion latch.
     fn run_chunk(&self, chunk: usize, on_worker: bool, stats: &Stats) {
         if !self.cancelled.load(Ordering::Acquire) {
-            // Safety: see `TaskRef` — the submitting borrow is alive
+            // SAFETY: see `TaskRef` — the submitting borrow is alive
             // until the latch this execution precedes.
             let task = unsafe { &*self.task.0 };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(chunk))) {
@@ -274,7 +274,7 @@ impl Pool {
     pub(crate) fn run<'scope>(&self, num_chunks: usize, task: &'scope (dyn Fn(usize) + Sync)) {
         debug_assert!(num_chunks > 0);
         self.shared.stats.jobs.fetch_add(1, Ordering::Relaxed);
-        // Safety: `run` does not return until the latch below has
+        // SAFETY: `run` does not return until the latch below has
         // opened, which happens only after the final dereference of
         // this pointer — the erased borrow outlives every use.
         let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
@@ -370,7 +370,7 @@ impl<T> SlotWriter<T> {
     }
 }
 
-// Safety: disjoint-index writes of `Send` values, ordered against the
+// SAFETY: disjoint-index writes of `Send` values, ordered against the
 // reader by the job latch (see `SlotWriter`).
 unsafe impl<T: Send> Send for SlotWriter<T> {}
 unsafe impl<T: Send> Sync for SlotWriter<T> {}
@@ -397,7 +397,7 @@ where
         let writer = SlotWriter(slots.as_mut_ptr());
         let task = |chunk: usize| {
             let result = run_range(ranges[chunk].clone());
-            // Safety: see `SlotWriter`; `chunk < ranges.len()`.
+            // SAFETY: see `SlotWriter`; `chunk < ranges.len()`.
             unsafe { *writer.slot(chunk) = Some(result) };
         };
         pool.run(ranges.len(), &task);
