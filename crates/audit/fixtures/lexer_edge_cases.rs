@@ -26,6 +26,34 @@ fn numbers(x: f64, n: u32) -> bool {
     range_is_int && method_on_int && suffixed && exponent && n == 0
 }
 
+fn float_literals_with_method_calls(x: f64) -> bool {
+    // suffixed float literals followed by `.method(...)` must lex as
+    // one Float token plus a call, not derail into garbage
+    let m = 1.0f64.max(x);
+    let e = 2.5e3f64.min(x);
+    let i = 1f64.abs();
+    let plain = 3.5.clamp(0.0, 4.0);
+    let ok = m.is_finite() && e.is_finite() && i.is_finite() && plain.is_finite();
+    ok && 1.0f64.max(x) == 2.0 //~ no-float-eq
+}
+
+fn lifetimes_vs_char_literals<'a>(s: &'a str) -> usize {
+    // `'a` above is a lifetime; these are char literals — confusing
+    // one for the other desyncs every rule that follows
+    let newline = '\n';
+    let tick = '\'';
+    let plain = 'x';
+    let underscore = '_';
+    s.chars().filter(|&c| c == newline || c == tick || c == plain || c == underscore).count()
+}
+
+fn generic_lifetime_bounds<'a, T: 'a>(v: &'a [T], x: Option<&'a T>) -> &'a T {
+    // lifetime-heavy signature first, then a real violation: if `'a`
+    // mislexed as an unterminated char the marker below would not match
+    x.unwrap_or(&v[0]); // unwrap_or is not unwrap: no finding here
+    x.unwrap() //~ no-unwrap
+}
+
 #[cfg(test)]
 mod tests {
     fn nested_braces_stay_excluded(x: Option<u32>) -> u32 {

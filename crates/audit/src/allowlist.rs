@@ -36,6 +36,9 @@ pub enum AllowlistIssue {
     UnknownRule { source_line: usize, rule: String },
     /// An entry with an empty reason string — justifications are mandatory.
     MissingReason { source_line: usize },
+    /// A repeat of an earlier entry's (rule, path, substring) triple —
+    /// the later copy can never suppress anything the first didn't.
+    Duplicate { source_line: usize, first_line: usize },
     /// An entry that suppressed nothing this run.
     Stale { entry: AllowEntry },
 }
@@ -51,6 +54,9 @@ impl std::fmt::Display for AllowlistIssue {
             }
             AllowlistIssue::MissingReason { source_line } => {
                 write!(f, "allowlist:{source_line}: entry has an empty reason — every exception must be justified")
+            }
+            AllowlistIssue::Duplicate { source_line, first_line } => {
+                write!(f, "allowlist:{source_line}: duplicate of line {first_line} — same (rule, path, substring) triple; remove one")
             }
             AllowlistIssue::Stale { entry } => {
                 write!(
@@ -88,6 +94,13 @@ pub fn parse(contents: &str) -> (Vec<AllowEntry>, Vec<AllowlistIssue>) {
         };
         if fields[3].is_empty() {
             issues.push(AllowlistIssue::MissingReason { source_line });
+            continue;
+        }
+        if let Some(first) = entries
+            .iter()
+            .find(|e: &&AllowEntry| e.rule == rule && e.path == fields[1] && e.needle == fields[2])
+        {
+            issues.push(AllowlistIssue::Duplicate { source_line, first_line: first.source_line });
             continue;
         }
         entries.push(AllowEntry {
@@ -185,6 +198,23 @@ mod tests {
         assert!(matches!(issues[0], AllowlistIssue::Malformed { source_line: 1, .. }));
         assert!(matches!(issues[1], AllowlistIssue::UnknownRule { source_line: 2, .. }));
         assert!(matches!(issues[2], AllowlistIssue::MissingReason { source_line: 3 }));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_triples() {
+        let (entries, issues) = parse(
+            "no-unwrap | a.rs | x.unwrap() | first copy\n\
+             no-unwrap | a.rs | x.unwrap() | second copy, different reason\n\
+             no-unwrap | a.rs | y.unwrap() | different substring is fine\n\
+             no-print  | a.rs | x.unwrap() | different rule is fine\n",
+        );
+        assert_eq!(entries.len(), 3);
+        assert_eq!(issues.len(), 1);
+        assert!(
+            matches!(issues[0], AllowlistIssue::Duplicate { source_line: 2, first_line: 1 }),
+            "{issues:?}"
+        );
+        assert!(issues[0].to_string().contains("duplicate of line 1"), "{}", issues[0]);
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //!   inventory (every site, its kind, enclosing function and
 //!   `// SAFETY:` justification) collected during a `--workspace` or
 //!   file scan; CI uploads it as a build artifact.
+//! * `--hot-report <path>` — write the hot-path inventory: every
+//!   `// hot:`-reachable function with its static alloc-site count,
+//!   plus the `span … static_alloc_sites=<n>` lines the perfsuite
+//!   static↔runtime reconciliation consumes.
+//! * `--github-annotations` — additionally emit each finding and
+//!   allowlist issue as a GitHub Actions workflow command
+//!   (`::error file=…,line=…,title=…::…`) so CI renders them inline on
+//!   the PR diff.
 //!
 //! Exit status: `0` clean, `1` findings or self-test failures, `2`
 //! usage or I/O errors.
@@ -29,7 +37,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: audit [--root <dir>] [--metrics-out <path>] [--unsafe-report <path>] (--workspace | --self-test | <file.rs>...)"
+        "usage: audit [--root <dir>] [--metrics-out <path>] [--unsafe-report <path>] [--hot-report <path>] [--github-annotations] (--workspace | --self-test | <file.rs>...)"
     );
     ExitCode::from(2)
 }
@@ -40,6 +48,8 @@ fn main() -> ExitCode {
     let mut root_override: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut unsafe_report: Option<PathBuf> = None;
+    let mut hot_report: Option<PathBuf> = None;
+    let mut github_annotations = false;
     let mut paths: Vec<PathBuf> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -59,6 +69,11 @@ fn main() -> ExitCode {
                 Some(path) => unsafe_report = Some(PathBuf::from(path)),
                 None => return usage(),
             },
+            "--hot-report" => match args.next() {
+                Some(path) => hot_report = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--github-annotations" => github_annotations = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -139,9 +154,18 @@ fn main() -> ExitCode {
         match graphner_audit::run(&root, &files) {
             Ok(report) => {
                 print_report(&report);
+                if github_annotations {
+                    print_github_annotations(&report);
+                }
                 if let Some(path) = &unsafe_report {
                     if let Err(e) = std::fs::write(path, report.render_unsafe_report()) {
                         eprintln!("audit: cannot write unsafe report to {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+                if let Some(path) = &hot_report {
+                    if let Err(e) = std::fs::write(path, report.hot.render()) {
+                        eprintln!("audit: cannot write hot report to {}: {e}", path.display());
                         return ExitCode::from(2);
                     }
                 }
@@ -209,6 +233,38 @@ fn print_report(report: &Report) {
         report.suppressed.len(),
         report.allowlist_issues.len()
     );
+}
+
+/// Escape a GitHub workflow-command *message* (`%`, CR, LF).
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escape a workflow-command *property* value (message set plus `:`, `,`).
+fn gh_escape_prop(s: &str) -> String {
+    gh_escape(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+/// Emit findings and allowlist issues as GitHub Actions inline
+/// annotations so they render on the PR diff next to the offending
+/// line. Workflow commands go to stdout by design.
+fn print_github_annotations(report: &Report) {
+    for f in &report.findings {
+        println!(
+            "::error file={},line={},title={}::{}",
+            gh_escape_prop(&f.path),
+            f.line,
+            gh_escape_prop(&format!("audit {}", f.rule.id())),
+            gh_escape(&f.what)
+        );
+    }
+    for issue in &report.allowlist_issues {
+        println!(
+            "::error file={},title=audit allowlist::{}",
+            gh_escape_prop(graphner_audit::ALLOWLIST_FILE),
+            gh_escape(&issue.to_string())
+        );
+    }
 }
 
 /// Append the global metrics registry as JSONL.

@@ -15,6 +15,7 @@
 //! engine against fixture files with known violations.
 
 pub mod allowlist;
+pub mod hot;
 pub mod lexer;
 pub mod rules;
 pub mod symbols;
@@ -75,6 +76,10 @@ pub struct Report {
     /// Every `unsafe` site encountered, justified or not, in scan
     /// order — the `--unsafe-report` inventory.
     pub unsafe_sites: Vec<UnsafeRecord>,
+    /// The hot-path inventory (`--hot-report`): hot-reachable functions
+    /// with their static alloc-site counts, plus the span mapping the
+    /// perfsuite reconciliation consumes.
+    pub hot: hot::HotInventory,
 }
 
 impl Report {
@@ -102,6 +107,7 @@ impl Report {
         graphner_obs::counter("audit.allowlisted").add(self.suppressed.len() as u64);
         graphner_obs::counter("audit.allowlist_issues").add(self.allowlist_issues.len() as u64);
         graphner_obs::counter("audit.unsafe_sites").add(self.unsafe_sites.len() as u64);
+        graphner_obs::counter("audit.hot_fns").add(self.hot.fns.len() as u64);
     }
 
     /// Render the `unsafe` inventory as the `--unsafe-report` text: one
@@ -350,6 +356,7 @@ pub fn run(root: &Path, files: &[PathBuf]) -> Result<Report, AuditError> {
         allowlist_issues: issues,
         files_scanned: files.len(),
         unsafe_sites,
+        hot: hot::inventory(&indexes),
     })
 }
 

@@ -34,6 +34,22 @@
 //! |                 | `crates/audit/span-names.txt` (and every non-fixture entry    |
 //! |                 | there is still used somewhere)                                |
 //!
+//! The hot-path families also run in pass 2, but only inside the
+//! hot-reachable function set seeded by `// hot:` annotations (see
+//! [`crate::hot`]):
+//!
+//! | id              | policy                                                        |
+//! |-----------------|---------------------------------------------------------------|
+//! | `hot-alloc`     | no `Vec::new` / `vec!` / `push` / `collect` / `format!` /     |
+//! |                 | `to_string` / `clone` / `Box::new` in a hot function without  |
+//! |                 | a reason-bearing `// alloc:` contract in the statement        |
+//! | `hot-cast`      | no lossy `as` cast to a narrow type (`u8`…`i32`, `f32`) in a  |
+//! |                 | hot function without a `// cast:` contract — use `try_from`   |
+//! |                 | or a typed guard instead                                      |
+//! | `hot-overflow`  | no unchecked `+`/`*` inside an index expression of a hot      |
+//! |                 | function without a `// bound:` contract (statement- or        |
+//! |                 | fn-level) or a `checked_*`/`div_ceil` guard                   |
+//!
 //! Scope conventions (see [`FileScope`]): binary targets (`src/bin/`),
 //! integration tests, benches, and `#[cfg(test)]` regions are exempt
 //! from `no-unwrap`, `no-float-eq` and `no-print` — panicking on bad
@@ -74,11 +90,17 @@ pub enum Rule {
     DetThreads,
     /// Span name literal missing from (or stale in) the known set.
     SpanKnown,
+    /// Uncontracted allocation call site in a hot-reachable function.
+    HotAlloc,
+    /// Lossy narrowing `as` cast in a hot-reachable function.
+    HotCast,
+    /// Unchecked index arithmetic in a hot-reachable function.
+    HotOverflow,
 }
 
 /// All rules, in reporting order. The first six run per file (pass 1),
 /// the rest over the linked symbol graph (pass 2).
-pub const ALL_RULES: [Rule; 11] = [
+pub const ALL_RULES: [Rule; 14] = [
     Rule::NoUnwrap,
     Rule::NoFloatEq,
     Rule::NoStdHash,
@@ -90,6 +112,9 @@ pub const ALL_RULES: [Rule; 11] = [
     Rule::DetMerge,
     Rule::DetThreads,
     Rule::SpanKnown,
+    Rule::HotAlloc,
+    Rule::HotCast,
+    Rule::HotOverflow,
 ];
 
 impl Rule {
@@ -108,6 +133,9 @@ impl Rule {
             Rule::DetMerge => "det-merge",
             Rule::DetThreads => "det-threads",
             Rule::SpanKnown => "span-known",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::HotCast => "hot-cast",
+            Rule::HotOverflow => "hot-overflow",
         }
     }
 

@@ -38,6 +38,23 @@ const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
 /// statement as one of these merges across chunk boundaries.
 const PAR_ENTRIES: [&str; 4] = ["par_iter", "par_iter_mut", "into_par_iter", "par_chunks"];
 
+/// Method names whose call allocates (or may allocate) on the heap —
+/// the `hot-alloc` family flags these inside hot functions.
+const ALLOC_METHODS: [&str; 6] = ["push", "collect", "to_string", "to_owned", "to_vec", "clone"];
+
+/// Macros whose expansion allocates.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Owner types whose constructors allocate (`Vec::new`, `Box::new`, …).
+const ALLOC_TYPES: [&str; 3] = ["Vec", "Box", "String"];
+
+/// Allocating constructor names on [`ALLOC_TYPES`].
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+
+/// Cast targets narrower than the `usize`/`f64` arithmetic hot code
+/// computes in — an `as` cast to one of these can silently truncate.
+const NARROW_CAST_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
 /// One call expression inside a function body.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CallSite {
@@ -54,6 +71,40 @@ pub struct PanicSite {
     pub what: String,
     /// 1-based line.
     pub line: usize,
+}
+
+/// One allocation call site inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocSite {
+    /// What was matched (`.push()`, `vec!`, `Vec::new`, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Body of the covering `// alloc:` contract, if present.
+    pub annotation: Option<String>,
+}
+
+/// One narrowing `as` cast inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CastSite {
+    /// Rendered cast (`sim as f32`).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Body of the covering `// cast:` contract, if present.
+    pub annotation: Option<String>,
+}
+
+/// One unchecked `+`/`*` inside an index expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArithSite {
+    /// Rendered index expression (`i * s + st`).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Body of the covering statement-level `// bound:` contract, if
+    /// present (a fn-level `// bound:` lives on [`FnItem::bound`]).
+    pub annotation: Option<String>,
 }
 
 /// One function item.
@@ -75,6 +126,39 @@ pub struct FnItem {
     /// sites the explicit-source walk cannot prove guarded; surfaced
     /// in the inventory report, not gated.
     pub index_sites: usize,
+    /// Body of the `// hot:` annotation directly above the `fn` line,
+    /// if any — marks this function a hot-path root.
+    pub hot: Option<String>,
+    /// Body of a fn-level `// bound:` contract directly above the `fn`
+    /// line, covering every index expression in the body.
+    pub bound: Option<String>,
+    /// Allocation call sites in the body, in source order.
+    pub alloc_sites: Vec<AllocSite>,
+    /// Narrowing `as` casts in the body, in source order.
+    pub cast_sites: Vec<CastSite>,
+    /// Unchecked index-arithmetic sites in the body, in source order.
+    pub arith_sites: Vec<ArithSite>,
+}
+
+impl FnItem {
+    /// An empty non-test library function item — the building block
+    /// for synthetic call graphs in tests.
+    pub fn synthetic(name: &str, line: usize) -> FnItem {
+        FnItem {
+            name: name.to_string(),
+            line,
+            is_test: false,
+            is_unsafe: false,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            index_sites: 0,
+            hot: None,
+            bound: None,
+            alloc_sites: Vec::new(),
+            cast_sites: Vec::new(),
+            arith_sites: Vec::new(),
+        }
+    }
 }
 
 /// What kind of `unsafe` assertion a site is.
@@ -159,6 +243,10 @@ pub struct SpanUse {
     pub line: usize,
     /// Whether the site sits inside a `#[cfg(test)]` region.
     pub is_test: bool,
+    /// Index (into [`FileIndex::fns`]) of the innermost function whose
+    /// body mints the span, if any — the anchor for the static↔runtime
+    /// allocation reconciliation in the hot report.
+    pub fn_index: Option<usize>,
 }
 
 /// Everything pass 1 extracts from one file.
@@ -189,12 +277,13 @@ pub fn index_file(path: &str, source: &str) -> FileIndex {
     let regions = crate::rules::test_regions(tokens);
     let in_test = |i: usize| regions.iter().any(|&(lo, hi)| i >= lo && i <= hi);
 
-    let mut fns = collect_fns(tokens, &in_test);
-    attribute_bodies(tokens, &mut fns);
+    let mut fns = collect_fns(tokens, comments, &in_test);
+    let bodies = body_spans(tokens);
+    attribute_bodies(tokens, comments, &bodies, &mut fns);
     let unsafe_sites = collect_unsafe(tokens, comments, &fns, &in_test);
     let det_sites = collect_det(tokens, comments, &in_test);
     let thread_sites = collect_threads(tokens, &in_test);
-    let span_uses = collect_spans(tokens, &in_test);
+    let span_uses = collect_spans(tokens, &bodies, &in_test);
 
     FileIndex {
         path: path.to_string(),
@@ -229,58 +318,75 @@ fn fn_body_span(tokens: &[Token], at: usize) -> std::ops::Range<usize> {
 }
 
 /// First sweep: find every `fn name` item and its flags. Nested fns
-/// become their own items; attribution picks the innermost.
-fn collect_fns(tokens: &[Token], in_test: &dyn Fn(usize) -> bool) -> Vec<FnItem> {
+/// become their own items; attribution picks the innermost. The
+/// fn-level `// hot:` / `// bound:` annotations are read from the
+/// contiguous comment block ending directly above the `fn` line (place
+/// them after any attributes).
+fn collect_fns(
+    tokens: &[Token],
+    comments: &[Comment],
+    in_test: &dyn Fn(usize) -> bool,
+) -> Vec<FnItem> {
     let mut out = Vec::new();
     for i in 0..tokens.len() {
         if tokens[i].is_ident("fn") {
             if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
-                out.push(FnItem {
-                    name: name.to_string(),
-                    line: tokens[i].line,
-                    is_test: in_test(i),
-                    is_unsafe: i > 0 && tokens[i - 1].is_ident("unsafe"),
-                    calls: Vec::new(),
-                    panics: Vec::new(),
-                    index_sites: 0,
-                });
+                let line = tokens[i].line;
+                let mut item = FnItem::synthetic(name, line);
+                item.is_test = in_test(i);
+                item.is_unsafe = i > 0 && tokens[i - 1].is_ident("unsafe");
+                item.hot = annotation_above(comments, line, "hot:");
+                item.bound = annotation_above(comments, line, "bound:");
+                out.push(item);
             }
         }
     }
     out
 }
 
-/// Second sweep: walk every token once and attribute call sites, panic
-/// sites and indexing expressions to the *innermost* enclosing
-/// function (closures therefore accrue to their defining function).
-fn attribute_bodies(tokens: &[Token], fns: &mut [FnItem]) {
-    // Body spans in the same order collect_fns emitted items.
-    let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(fns.len());
+/// Body token spans, in the same order `collect_fns` emits items.
+fn body_spans(tokens: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
     for i in 0..tokens.len() {
         if tokens[i].is_ident("fn") && tokens.get(i + 1).and_then(Token::ident).is_some() {
             spans.push(fn_body_span(tokens, i));
         }
     }
+    spans
+}
+
+/// Index (into `spans`) of the innermost span containing token `idx`.
+fn innermost(spans: &[std::ops::Range<usize>], idx: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (f, span) in spans.iter().enumerate() {
+        if span.contains(&idx) {
+            best = match best {
+                Some(b) if spans[b].len() <= spans[f].len() => Some(b),
+                _ => Some(f),
+            };
+        }
+    }
+    best
+}
+
+/// Second sweep: walk every token once and attribute call sites, panic
+/// sites, indexing expressions, allocation sites, narrowing casts and
+/// index arithmetic to the *innermost* enclosing function (closures
+/// therefore accrue to their defining function).
+fn attribute_bodies(
+    tokens: &[Token],
+    comments: &[Comment],
+    spans: &[std::ops::Range<usize>],
+    fns: &mut [FnItem],
+) {
     debug_assert_eq!(spans.len(), fns.len());
 
-    let innermost = |idx: usize| -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (f, span) in spans.iter().enumerate() {
-            if span.contains(&idx) {
-                best = match best {
-                    Some(b) if spans[b].len() <= spans[f].len() => Some(b),
-                    _ => Some(f),
-                };
-            }
-        }
-        best
-    };
-
     for (i, tok) in tokens.iter().enumerate() {
-        let Some(owner) = innermost(i) else { continue };
+        let Some(owner) = innermost(spans, i) else { continue };
         if let Some(name) = tok.ident() {
             let next_paren = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
             let next_bang = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            let next_turbo = tokens.get(i + 1).is_some_and(|t| t.is_op("::"));
             let prev_fn = i > 0 && tokens[i - 1].is_ident("fn");
             let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
             if next_paren && !prev_fn && !is_keyword_call(name) {
@@ -295,6 +401,42 @@ fn attribute_bodies(tokens: &[Token], fns: &mut [FnItem]) {
             if next_bang && PANIC_MACROS.contains(&name) {
                 fns[owner].panics.push(PanicSite { what: format!("{name}!"), line: tok.line });
             }
+            // hot-alloc capture: `.push(` / `.collect(` / `.collect::<`
+            // method forms, `vec!` / `format!` macros, and
+            // `Vec::new(` / `Box::new(` constructor paths.
+            let site = if prev_dot && ALLOC_METHODS.contains(&name) && (next_paren || next_turbo) {
+                Some(format!(".{name}()"))
+            } else if next_bang && ALLOC_MACROS.contains(&name) {
+                Some(format!("{name}!"))
+            } else if next_paren && ALLOC_CTORS.contains(&name) && !prev_dot {
+                ctor_owner(tokens, i).map(|ty| format!("{ty}::{name}"))
+            } else {
+                None
+            };
+            if let Some(what) = site {
+                let annotation = statement_contract(tokens, comments, i, "alloc:");
+                fns[owner].alloc_sites.push(AllocSite { what, line: tok.line, annotation });
+            }
+            // hot-cast capture: `expr as <narrow>` where the source is
+            // not a literal (literal casts are compile-time checked).
+            if name == "as" && i > 0 {
+                let src = &tokens[i - 1];
+                let src_name = match &src.kind {
+                    TokenKind::Ident(s) if !is_keyword_call(s) => Some(s.clone()),
+                    TokenKind::Punct(c) if *c == ')' || *c == ']' => Some("(..)".to_string()),
+                    _ => None,
+                };
+                if let (Some(src_name), Some(target)) = (src_name, cast_target(tokens, i)) {
+                    if NARROW_CAST_TARGETS.contains(&target.as_str()) {
+                        let annotation = statement_contract(tokens, comments, i, "cast:");
+                        fns[owner].cast_sites.push(CastSite {
+                            what: format!("{src_name} as {target}"),
+                            line: tok.line,
+                            annotation,
+                        });
+                    }
+                }
+            }
         } else if tok.is_punct('[') && i > 0 {
             // indexing expression: `expr[` — the previous token ends an
             // expression (identifier, close paren/bracket)
@@ -306,9 +448,134 @@ fn attribute_bodies(tokens: &[Token], fns: &mut [FnItem]) {
             };
             if indexes {
                 fns[owner].index_sites += 1;
+                if let Some(site) = index_arith_site(tokens, comments, i) {
+                    fns[owner].arith_sites.push(site);
+                }
             }
         }
     }
+}
+
+/// The owner type of an allocating constructor path call at ident `i`
+/// (`Vec :: new`, `Vec :: < T > :: new`), if it is one of
+/// [`ALLOC_TYPES`].
+fn ctor_owner(tokens: &[Token], i: usize) -> Option<String> {
+    if i < 2 || !tokens[i - 1].is_op("::") {
+        return None;
+    }
+    let mut j = i - 2;
+    // skip a turbofish generic group `< … >` between owner and ctor
+    if tokens[j].is_punct('>') {
+        let mut depth = 0i32;
+        loop {
+            match &tokens[j].kind {
+                TokenKind::Punct('>') => depth += 1,
+                TokenKind::Punct('<') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j < 2 || !tokens[j - 1].is_op("::") {
+            return None;
+        }
+        j -= 2;
+    }
+    tokens[j].ident().filter(|n| ALLOC_TYPES.contains(n)).map(str::to_string)
+}
+
+/// The base name of the target type of an `as` cast at ident `i`
+/// (`as u32` → `u32`, `as crate::Foo` → `Foo`); `None` for pointer,
+/// `dyn`, or reference targets.
+fn cast_target(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    let mut last: Option<&str> = None;
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Ident(name) if name == "dyn" || name == "const" || name == "mut" => {
+                return None
+            }
+            TokenKind::Ident(name) => last = Some(name),
+            TokenKind::Op("::") => {}
+            TokenKind::Punct('*') | TokenKind::Punct('&') => return None,
+            _ => break,
+        }
+        j += 1;
+    }
+    last.map(str::to_string)
+}
+
+/// An [`ArithSite`] for the index expression opening at `open`, if it
+/// contains an unguarded binary `+` or `*`. A `checked_*` or
+/// `div_ceil` call anywhere inside the brackets counts as a guard.
+fn index_arith_site(tokens: &[Token], comments: &[Comment], open: usize) -> Option<ArithSite> {
+    let close = matching_bracket(tokens, open);
+    let inner = &tokens[open + 1..close];
+    if inner.iter().any(|t| t.ident().is_some_and(|n| n.starts_with("checked_") || n == "div_ceil"))
+    {
+        return None;
+    }
+    let mut op_at = None;
+    for (k, t) in inner.iter().enumerate() {
+        let is_op = matches!(t.kind, TokenKind::Punct('+') | TokenKind::Punct('*'));
+        if !is_op || k == 0 {
+            continue;
+        }
+        // binary only: the previous token must end an expression
+        // (rules out unary deref `*x` and `&*p`)
+        let binary = match &inner[k - 1].kind {
+            TokenKind::Ident(name) => !is_keyword_call(name),
+            TokenKind::Int | TokenKind::Float => true,
+            TokenKind::Punct(c) => *c == ')' || *c == ']',
+            _ => false,
+        };
+        // rule out `+=` compound assignment
+        let assign = inner.get(k + 1).is_some_and(|t| t.is_punct('='));
+        if binary && !assign {
+            op_at = Some(open + 1 + k);
+            break;
+        }
+    }
+    let at = op_at?;
+    let what: String = inner
+        .iter()
+        .take(24)
+        .map(|t| match &t.kind {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Op(o) => (*o).to_string(),
+            TokenKind::Punct(c) => c.to_string(),
+            TokenKind::Int | TokenKind::Float => "N".to_string(),
+            _ => "_".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    let annotation = statement_contract(tokens, comments, at, "bound:");
+    Some(ArithSite { what, line: tokens[at].line, annotation })
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
 }
 
 /// Whether a comment block's body carries a safety justification.
@@ -371,10 +638,9 @@ fn collect_unsafe(
     sites
 }
 
-/// The body of the comment block justifying a site at `line`, if any:
-/// a contiguous run of comments ending on `line - 1`, or a trailing
-/// comment on `line` itself.
-fn adjacent_safety(comments: &[Comment], line: usize) -> Option<String> {
+/// The joined body of the contiguous comment block ending on the line
+/// directly above `line` (empty when there is none).
+fn block_above(comments: &[Comment], line: usize) -> String {
     let mut block: Vec<&Comment> = Vec::new();
     let mut want = line - 1;
     for c in comments.iter().rev() {
@@ -386,7 +652,14 @@ fn adjacent_safety(comments: &[Comment], line: usize) -> Option<String> {
         }
     }
     block.reverse();
-    let above = block.iter().map(|c| c.body()).collect::<Vec<_>>().join("\n");
+    block.iter().map(|c| c.body()).collect::<Vec<_>>().join("\n")
+}
+
+/// The body of the comment block justifying a site at `line`, if any:
+/// a contiguous run of comments ending on `line - 1`, or a trailing
+/// comment on `line` itself.
+fn adjacent_safety(comments: &[Comment], line: usize) -> Option<String> {
+    let above = block_above(comments, line);
     if !above.is_empty() && is_safety_text(&above) {
         return Some(above);
     }
@@ -397,6 +670,42 @@ fn adjacent_safety(comments: &[Comment], line: usize) -> Option<String> {
     } else {
         None
     }
+}
+
+/// The text following `key` on a line of the comment block directly
+/// above `line` that *starts* with `key` (`// hot: reason` → `reason`
+/// for key `"hot:"`). Requiring the prefix position keeps prose
+/// mentions of the keyword from acting as annotations.
+fn annotation_above(comments: &[Comment], line: usize, key: &str) -> Option<String> {
+    block_above(comments, line)
+        .lines()
+        .find_map(|l| l.trim_start().strip_prefix(key).map(|rest| rest.trim().to_string()))
+}
+
+/// Contract comment covering the statement containing token `at`: the
+/// contiguous comment block directly above the statement's first line,
+/// or any comment between that line and the site line (inline or
+/// trailing), one of whose lines starts with `key`, yielding the text
+/// after the key.
+fn statement_contract(
+    tokens: &[Token],
+    comments: &[Comment],
+    at: usize,
+    key: &str,
+) -> Option<String> {
+    let find_key = |text: &str| {
+        text.lines()
+            .find_map(|l| l.trim_start().strip_prefix(key).map(|rest| rest.trim().to_string()))
+    };
+    let (stmt_start_line, _) = scan_statement_back(tokens, at);
+    let line = tokens[at].line;
+    if let Some(found) = find_key(&block_above(comments, stmt_start_line)) {
+        return Some(found);
+    }
+    comments
+        .iter()
+        .filter(|c| c.line >= stmt_start_line && c.line <= line)
+        .find_map(|c| find_key(c.body()))
 }
 
 /// Innermost function whose lines plausibly contain `line` — used only
@@ -513,8 +822,13 @@ fn collect_threads(tokens: &[Token], in_test: &dyn Fn(usize) -> bool) -> Vec<Thr
 }
 
 /// Sixth sweep: literal span names (well-shaped only — malformed names
-/// belong to the `span-name` rule).
-fn collect_spans(tokens: &[Token], in_test: &dyn Fn(usize) -> bool) -> Vec<SpanUse> {
+/// belong to the `span-name` rule), each attributed to the innermost
+/// enclosing function for the hot report's span section.
+fn collect_spans(
+    tokens: &[Token],
+    bodies: &[std::ops::Range<usize>],
+    in_test: &dyn Fn(usize) -> bool,
+) -> Vec<SpanUse> {
     let mut out = Vec::new();
     for (i, tok) in tokens.iter().enumerate() {
         let Some(name) = tok.ident() else { continue };
@@ -526,7 +840,12 @@ fn collect_spans(tokens: &[Token], in_test: &dyn Fn(usize) -> bool) -> Vec<SpanU
         }
         let Some(lit) = tokens.get(i + 2).and_then(Token::str_lit) else { continue };
         if crate::rules::valid_span_name(lit) {
-            out.push(SpanUse { name: lit.to_string(), line: tok.line, is_test: in_test(i) });
+            out.push(SpanUse {
+                name: lit.to_string(),
+                line: tok.line,
+                is_test: in_test(i),
+                fn_index: innermost(bodies, i),
+            });
         }
     }
     out

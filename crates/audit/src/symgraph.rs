@@ -10,12 +10,52 @@
 //! the exhaustive backstop for *direct* panics; this walk adds the
 //! cross-function dimension it cannot see.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::symbols::{FileIndex, PanicSite};
 
 /// A global function id: (file index, fn index within that file).
 pub type FnId = (usize, usize);
+
+/// Method names the std prelude (Iterator, slices, `Vec`, `String`, …)
+/// exports: a call site bearing one of these almost always targets the
+/// std method, so even a workspace-unique definition (the vendored
+/// rayon shim redefines several) must not resolve. Dropping the edge
+/// only under-reports reachability — the accepted failure direction.
+const STD_SHADOWED: [&str; 32] = [
+    "all",
+    "any",
+    "chain",
+    "clone",
+    "collect",
+    "contains",
+    "count",
+    "default",
+    "enumerate",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "fold",
+    "for_each",
+    "from",
+    "get",
+    "insert",
+    "is_empty",
+    "iter",
+    "len",
+    "map",
+    "max",
+    "min",
+    "new",
+    "position",
+    "push",
+    "rev",
+    "sum",
+    "take",
+    "zip",
+];
 
 /// How a function reaches a panic, if it does.
 #[derive(Clone, Debug)]
@@ -23,6 +63,15 @@ pub enum Reach {
     /// The body contains an active panic source itself.
     Direct(PanicSite),
     /// A resolved callee reaches one.
+    Via(FnId),
+}
+
+/// How a function enters the hot-reachable set.
+#[derive(Clone, Debug)]
+pub enum HotReach {
+    /// The function carries a `// hot:` root annotation (the reason).
+    Root(String),
+    /// A hot caller's resolved call edge reaches it.
     Via(FnId),
 }
 
@@ -48,8 +97,12 @@ impl<'a> SymbolGraph<'a> {
         SymbolGraph { files, by_name }
     }
 
-    /// The callee a name resolves to, if exactly one library fn bears it.
+    /// The callee a name resolves to, if exactly one library fn bears
+    /// it and the name is not shadowed by the std prelude.
     pub fn resolve(&self, name: &str) -> Option<FnId> {
+        if STD_SHADOWED.contains(&name) {
+            return None;
+        }
         match self.by_name.get(name).map(Vec::as_slice) {
             Some([only]) => Some(*only),
             _ => None,
@@ -120,6 +173,90 @@ impl<'a> SymbolGraph<'a> {
             }
         }
         reach
+    }
+
+    /// The hot-reachable function set: a *forward* fixpoint from every
+    /// `// hot:`-annotated library function over resolved call edges —
+    /// the mirror image of [`Self::panic_reachability`], which walks
+    /// callee→caller. A missed (ambiguous or std-shadowed) edge leaves
+    /// a callee out of the hot set, so the hot-path rules can only
+    /// under-report; they never fabricate a hot function.
+    pub fn hot_reachability(&self) -> BTreeMap<FnId, HotReach> {
+        let mut reach: BTreeMap<FnId, HotReach> = BTreeMap::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if !f.is_test {
+                    if let Some(reason) = &f.hot {
+                        reach.insert((fi, gi), HotReach::Root(reason.clone()));
+                    }
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            let hot: Vec<FnId> = reach.keys().copied().collect();
+            for id in hot {
+                let (fi, gi) = id;
+                let f = &self.files[fi].fns[gi];
+                for call in &f.calls {
+                    let Some(target) = self.resolve(&call.name).filter(|t| *t != id) else {
+                        continue;
+                    };
+                    if let std::collections::btree_map::Entry::Vacant(slot) = reach.entry(target) {
+                        slot.insert(HotReach::Via(id));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reach
+    }
+
+    /// Every function reachable from `start` (inclusive) over resolved
+    /// call edges — the static closure a span minted in `start` can
+    /// execute under.
+    pub fn reachable_from(&self, start: FnId) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let (fi, gi) = id;
+            for call in &self.files[fi].fns[gi].calls {
+                if let Some(target) = self.resolve(&call.name) {
+                    if !seen.contains(&target) {
+                        stack.push(target);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Render the call chain from a hot root down to `id`, e.g.
+    /// `sweep_shard -> jacobi_update -> neighbors`.
+    pub fn render_hot_path(&self, id: FnId, reach: &BTreeMap<FnId, HotReach>) -> String {
+        let mut parts = Vec::new();
+        let mut cur = id;
+        loop {
+            let (fi, gi) = cur;
+            parts.push(self.files[fi].fns[gi].name.clone());
+            match reach.get(&cur) {
+                Some(HotReach::Via(prev)) if parts.len() <= self.by_name.len() => cur = *prev,
+                _ => break,
+            }
+        }
+        parts.reverse();
+        parts.join(" -> ")
+    }
+
+    /// The name of the function `id` points at (for reports).
+    pub fn name_of(&self, id: FnId) -> &str {
+        &self.files[id.0].fns[id.1].name
     }
 
     /// Render the call chain from `id` down to its direct panic site,

@@ -19,6 +19,9 @@
 //!   `crates/audit/span-names.txt`, and (workspace mode only) every
 //!   non-`[fixture]` entry there must still be used somewhere, so the
 //!   registry can't rot in either direction.
+//! * `hot-alloc` / `hot-cast` / `hot-overflow` — the hot-path families
+//!   ([`crate::hot`]), which run only inside the `// hot:`-rooted
+//!   reachable set of the same symbol graph.
 
 use std::collections::BTreeSet;
 
@@ -99,9 +102,11 @@ pub fn check(
     mode: Mode,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let graph = SymbolGraph::link(files);
     check_unsafe(files, &mut findings);
-    check_panic_paths(files, suppressed_sources, &mut findings);
+    check_panic_paths(files, &graph, suppressed_sources, &mut findings);
     check_det(files, &mut findings);
+    crate::hot::check(files, &graph, &mut findings);
     if let Some(registry) = registry {
         check_spans(files, registry, mode, &mut findings);
     }
@@ -135,10 +140,10 @@ fn check_unsafe(files: &[FileIndex], findings: &mut Vec<Finding>) {
 /// not two findings for the sink itself.
 fn check_panic_paths(
     files: &[FileIndex],
+    graph: &SymbolGraph<'_>,
     suppressed_sources: &BTreeSet<(String, usize)>,
     findings: &mut Vec<Finding>,
 ) {
-    let graph = SymbolGraph::link(files);
     let active = |path: &str, line: usize| !suppressed_sources.contains(&(path.to_string(), line));
     let reach = graph.panic_reachability(&active);
     for (&(fi, gi), r) in &reach {

@@ -21,6 +21,13 @@
 //! (default `BENCH_pipeline.json`); `--check <baseline>` exits 1 when
 //! any stage regresses more than 15% against the baseline. See
 //! DESIGN.md §11.
+//!
+//! `--hot-report <path>` reconciles the audit's static hot-path
+//! inventory against runtime allocator data: any span the report claims
+//! has zero static allocation sites but whose measured `mem.net_bytes`
+//! exceeds [`perf::HIDDEN_ALLOC_THRESHOLD_BYTES`] fails the run — a
+//! hidden (vendored/closure) allocation the lexical rules cannot see.
+//! See DESIGN.md §14.
 
 use graphner_bench::perf::{self, BenchReport, StageResult, DEFAULT_TOLERANCE, SCHEMA_VERSION};
 use graphner_bench::synth::synthetic_propagation;
@@ -50,6 +57,7 @@ struct Args {
     out: String,
     check: Option<String>,
     trace_out: Option<String>,
+    hot_report: Option<String>,
     tag_batch_worker: bool,
     propagate_worker: bool,
 }
@@ -61,6 +69,7 @@ fn parse_args() -> Args {
         out: "BENCH_pipeline.json".to_string(),
         check: None,
         trace_out: None,
+        hot_report: None,
         tag_batch_worker: false,
         propagate_worker: false,
     };
@@ -87,6 +96,10 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 i += 1;
                 parsed.trace_out = Some(args.get(i).expect("--trace-out needs a path").clone());
+            }
+            "--hot-report" => {
+                i += 1;
+                parsed.hot_report = Some(args.get(i).expect("--hot-report needs a path").clone());
             }
             "--tag-batch-worker" => parsed.tag_batch_worker = true,
             "--propagate-worker" => parsed.propagate_worker = true,
@@ -375,11 +388,50 @@ fn main() {
     std::fs::write(&args.out, report.to_json()).expect("write report");
     eprintln!("perfsuite: report written to {}", args.out);
 
+    // one drain serves both consumers: the trace export and the
+    // static↔runtime allocation reconciliation
+    let spans = if args.trace_out.is_some() || args.hot_report.is_some() {
+        graphner_obs::span::drain()
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = &args.trace_out {
-        let spans = graphner_obs::span::drain();
         let json = graphner_obs::chrome_trace_json(&spans, graphner_obs::TraceClock::from_env());
         std::fs::write(path, json).expect("write --trace-out file");
         eprintln!("perfsuite: trace ({} spans) written to {path}", spans.len());
+    }
+
+    if let Some(path) = &args.hot_report {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perfsuite: cannot read hot report {path}: {e}");
+            std::process::exit(2);
+        });
+        let statics = perf::parse_hot_report(&text).unwrap_or_else(|e| {
+            eprintln!("perfsuite: hot report {path} unreadable: {e}");
+            std::process::exit(2);
+        });
+        let hidden =
+            perf::reconcile_hot_spans(&statics, &spans, perf::HIDDEN_ALLOC_THRESHOLD_BYTES);
+        if hidden.is_empty() {
+            eprintln!(
+                "perfsuite: hot-span reconciliation OK ({} static span(s) against {} measured, \
+                 threshold {} bytes)",
+                statics.len(),
+                spans.len(),
+                perf::HIDDEN_ALLOC_THRESHOLD_BYTES
+            );
+        } else {
+            eprintln!("perfsuite: {} hidden allocation(s):", hidden.len());
+            for h in &hidden {
+                eprintln!(
+                    "  span {} ({}): 0 static alloc sites but {} net bytes measured — \
+                     hidden allocation (vendored/closure) — annotate or hoist",
+                    h.span, h.site, h.net_bytes
+                );
+            }
+            std::process::exit(1);
+        }
     }
 
     if let Some(path) = &args.check {

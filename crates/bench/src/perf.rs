@@ -180,6 +180,107 @@ impl BenchReport {
     }
 }
 
+/// Net heap growth (bytes) a hot span may show at runtime before a
+/// zero-static-alloc-site claim stops being believable. Small enough to
+/// catch a per-item allocation loop, large enough to absorb allocator
+/// bookkeeping and the span record itself.
+pub const HIDDEN_ALLOC_THRESHOLD_BYTES: i64 = 4096;
+
+/// One `span` line of the audit `--hot-report`: the statically visible
+/// allocation-site count for a span whose extent enters the hot set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotSpanStatic {
+    /// Span name literal (matches [`graphner_obs::SpanRecord::name`]).
+    pub name: String,
+    /// Workspace-relative path of the minting site.
+    pub path: String,
+    /// 1-based line of the minting site.
+    pub line: usize,
+    /// Allocation call sites visible from the minting function over
+    /// resolved call edges.
+    pub static_alloc_sites: u64,
+}
+
+/// Parse the `span` section of an audit `--hot-report` file. The line
+/// grammar is owned by `graphner-audit::hot` (kept stable for this
+/// consumer): `span <name> <path>:<line> static_alloc_sites=<k>`.
+/// Comment (`#`), `root` and `fn` lines are skipped; a malformed `span`
+/// line is an error, since silently dropping one would un-gate its span.
+pub fn parse_hot_report(text: &str) -> Result<Vec<HotSpanStatic>, String> {
+    let mut spans = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        let Some(rest) = line.strip_prefix("span ") else {
+            continue;
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let err = || format!("hot-report:{line_no}: malformed span line `{line}`");
+        let [name, site, count] = fields.as_slice() else {
+            return Err(err());
+        };
+        let (path, site_line) = site.rsplit_once(':').ok_or_else(err)?;
+        let static_alloc_sites =
+            count.strip_prefix("static_alloc_sites=").and_then(|v| v.parse().ok());
+        spans.push(HotSpanStatic {
+            name: name.to_string(),
+            path: path.to_string(),
+            line: site_line.parse().map_err(|_| err())?,
+            static_alloc_sites: static_alloc_sites.ok_or_else(err)?,
+        });
+    }
+    Ok(spans)
+}
+
+/// A span the static analysis cleared that allocated anyway.
+#[derive(Clone, Debug)]
+pub struct HiddenAllocation {
+    /// Span name.
+    pub span: String,
+    /// Minting site from the hot report, for the error message.
+    pub site: String,
+    /// Worst `mem.net_bytes` observed across the span's executions.
+    pub net_bytes: i64,
+}
+
+/// Cross-reference the audit's static per-span allocation counts
+/// against measured span records: a hot span claiming **zero** static
+/// allocation sites whose worst observed `mem.net_bytes` still exceeds
+/// `threshold_bytes` is a hidden allocation — something the lexical
+/// rules cannot see (vendored code, a closure the resolver dropped) is
+/// allocating on the hot path. Spans without the attribute (built
+/// without `obs-alloc`) and spans that never ran are skipped.
+pub fn reconcile_hot_spans(
+    statics: &[HotSpanStatic],
+    measured: &[graphner_obs::SpanRecord],
+    threshold_bytes: i64,
+) -> Vec<HiddenAllocation> {
+    let mut hidden = Vec::new();
+    for s in statics {
+        if s.static_alloc_sites > 0 {
+            continue;
+        }
+        let worst = measured
+            .iter()
+            .filter(|r| r.name == s.name)
+            .filter_map(|r| match r.attr("mem.net_bytes") {
+                Some(&graphner_obs::AttrValue::I64(v)) => Some(v),
+                _ => None,
+            })
+            .max();
+        if let Some(net_bytes) = worst {
+            if net_bytes > threshold_bytes {
+                hidden.push(HiddenAllocation {
+                    span: s.name.clone(),
+                    site: format!("{}:{}", s.path, s.line),
+                    net_bytes,
+                });
+            }
+        }
+    }
+    hidden
+}
+
 /// Peak resident set (`VmHWM`) of this process in bytes, from
 /// `/proc/self/status`. 0 when the file or field is unavailable.
 pub fn peak_rss_bytes() -> u64 {
@@ -512,5 +613,101 @@ mod tests {
         if cfg!(target_os = "linux") {
             assert!(peak_rss_bytes() > 0);
         }
+    }
+
+    #[test]
+    fn hot_report_span_lines_parse_and_other_lines_skip() {
+        let text = "\
+# hot-path inventory: 1 roots, 2 functions, 3 alloc sites, 2 spans
+root crates/graph/src/propagate.rs:100 jacobi_update alloc_sites=0 — per-vertex kernel
+fn crates/graph/src/knn.rs:50 top_k alloc_sites=3 via jacobi_update -> top_k
+span perf.propagate crates/bench/src/bin/perfsuite.rs:306 static_alloc_sites=0
+span serve.tag_batch crates/core/src/pipeline.rs:530 static_alloc_sites=7
+";
+        let spans = parse_hot_report(text).unwrap();
+        assert_eq!(
+            spans,
+            vec![
+                HotSpanStatic {
+                    name: "perf.propagate".to_string(),
+                    path: "crates/bench/src/bin/perfsuite.rs".to_string(),
+                    line: 306,
+                    static_alloc_sites: 0,
+                },
+                HotSpanStatic {
+                    name: "serve.tag_batch".to_string(),
+                    path: "crates/core/src/pipeline.rs".to_string(),
+                    line: 530,
+                    static_alloc_sites: 7,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_report_rejects_malformed_span_lines() {
+        for bad in [
+            "span only_two_fields a.rs:1",
+            "span name a.rs:notaline static_alloc_sites=0",
+            "span name noline static_alloc_sites=0",
+            "span name a.rs:1 static_alloc_sites=x",
+            "span name a.rs:1 wrongkey=3",
+        ] {
+            let err = parse_hot_report(bad).unwrap_err();
+            assert!(err.contains("hot-report:1"), "{bad} -> {err}");
+        }
+    }
+
+    fn measured_span(name: &'static str, net_bytes: Option<i64>) -> graphner_obs::SpanRecord {
+        let mut r = graphner_obs::SpanRecord::synthetic(name, 0.1);
+        if let Some(v) = net_bytes {
+            r.attrs.push(("mem.net_bytes", graphner_obs::AttrValue::I64(v)));
+        }
+        r
+    }
+
+    fn static_span(name: &str, sites: u64) -> HotSpanStatic {
+        HotSpanStatic {
+            name: name.to_string(),
+            path: "crates/x/src/y.rs".to_string(),
+            line: 10,
+            static_alloc_sites: sites,
+        }
+    }
+
+    #[test]
+    fn reconcile_flags_zero_static_spans_that_allocate() {
+        let statics = [static_span("perf.propagate", 0)];
+        let measured = [
+            measured_span("perf.propagate", Some(100)),
+            measured_span("perf.propagate", Some(HIDDEN_ALLOC_THRESHOLD_BYTES + 1)),
+        ];
+        let hidden = reconcile_hot_spans(&statics, &measured, HIDDEN_ALLOC_THRESHOLD_BYTES);
+        assert_eq!(hidden.len(), 1);
+        assert_eq!(hidden[0].span, "perf.propagate");
+        assert_eq!(hidden[0].site, "crates/x/src/y.rs:10");
+        assert_eq!(hidden[0].net_bytes, HIDDEN_ALLOC_THRESHOLD_BYTES + 1);
+    }
+
+    #[test]
+    fn reconcile_clears_spans_with_static_sites_or_small_growth() {
+        let statics = [
+            static_span("perf.knn_build", 12), // sites declared: runtime allocation expected
+            static_span("perf.propagate", 0),  // under threshold: allocator noise
+            static_span("crf.train", 0),       // never ran in this process
+        ];
+        let measured = [
+            measured_span("perf.knn_build", Some(1 << 30)),
+            measured_span("perf.propagate", Some(HIDDEN_ALLOC_THRESHOLD_BYTES)),
+        ];
+        assert!(reconcile_hot_spans(&statics, &measured, HIDDEN_ALLOC_THRESHOLD_BYTES).is_empty());
+    }
+
+    #[test]
+    fn reconcile_skips_spans_without_alloc_accounting() {
+        // no obs-alloc feature -> no mem.net_bytes attr -> nothing to gate
+        let statics = [static_span("perf.propagate", 0)];
+        let measured = [measured_span("perf.propagate", None)];
+        assert!(reconcile_hot_spans(&statics, &measured, HIDDEN_ALLOC_THRESHOLD_BYTES).is_empty());
     }
 }

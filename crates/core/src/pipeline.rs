@@ -525,10 +525,12 @@ impl Tagger for GraphTagger {
     /// The call records a `serve.tag_batch` span carrying the batch
     /// size and the pool-counter advance it caused, so batch traces
     /// show how much of the work the workers actually absorbed.
+    // hot: parallel batch tagging, the serve-path throughput core
     fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
         let _s = span("serve.tag_batch");
         attr("batch.sentences", sentences.len());
         let before = rayon::pool_stats();
+        // alloc: one exact-size result Vec per batch
         let out: Vec<Vec<BioTag>> = sentences.par_iter().map(|s| self.predict(s)).collect();
         let delta = rayon::pool_stats().delta(&before);
         attr("pool.threads", delta.threads);

@@ -57,12 +57,17 @@ impl ChainCrf {
     ///
     /// `exp_trans` must come from `ChainCrf::exp_transitions`; it is
     /// passed in so the trainer can share one copy across sentences.
+    // hot: forward-backward over every training sentence, every epoch
+    // bound: i < l and st/p/n < s with l*s the length of every lattice
+    // row buffer, so every `i * s + st` index is in range and far below
+    // usize::MAX; s <= 16 is debug-asserted below
     pub fn lattice(&self, sent: &SentenceFeatures, exp_trans: &[f64]) -> Lattice {
         let l = sent.len();
         let s = self.num_states();
         assert!(l > 0, "cannot run inference on an empty sentence");
 
         // Shifted node potentials.
+        // alloc: one l*s buffer per sentence, returned in the Lattice
         let mut node = vec![0.0; l * s];
         let mut shift_sum = 0.0;
         for i in 0..l {
@@ -85,7 +90,10 @@ impl ChainCrf {
         }
 
         // Forward with scaling.
+        // alloc: alpha/scale live in the returned Lattice; sizing them
+        // here keeps the forward pass allocation-free per position
         let mut alpha = vec![0.0; l * s];
+        // alloc: per-position scaling constants, returned in the Lattice
         let mut scale = vec![0.0; l];
         let mut c0 = 0.0;
         for st in 0..s {
@@ -117,6 +125,7 @@ impl ChainCrf {
         }
 
         // Backward with the same scaling constants.
+        // alloc: one l*s buffer per sentence, returned in the Lattice
         let mut beta = vec![0.0; l * s];
         for st in 0..s {
             beta[(l - 1) * s + st] = 1.0;
@@ -174,13 +183,19 @@ impl ChainCrf {
     }
 
     /// Viterbi decoding: the most probable tag sequence under the model.
+    // hot: per-sentence max-product decode on the serving path
+    // bound: i < l and st/p/cur < s with l*s the length of delta/back,
+    // so every `i * s + st` index is in range and far below usize::MAX
     pub fn viterbi(&self, sent: &SentenceFeatures) -> Vec<BioTag> {
         let l = sent.len();
         let s = self.num_states();
         if l == 0 {
+            // alloc: empty Vec never touches the allocator
             return Vec::new();
         }
+        // alloc: two l*s DP tables per sentence, freed on return
         let mut delta = vec![f64::NEG_INFINITY; l * s];
+        // alloc: backpointer table, same l*s sizing as delta
         let mut back = vec![0u32; l * s];
         for st in 0..s {
             if self.space().initial_allowed(st) {
@@ -206,6 +221,7 @@ impl ChainCrf {
         let mut cur = (0..s)
             .max_by(|&a, &b| delta[(l - 1) * s + a].total_cmp(&delta[(l - 1) * s + b]))
             .unwrap_or(0);
+        // alloc: one state-id slot per token for the backtrace
         let mut states = vec![0usize; l];
         states[l - 1] = cur;
         for i in (1..l).rev() {
@@ -223,6 +239,7 @@ impl ChainCrf {
 ///
 /// Probabilities of exactly zero are floored to a tiny constant so the
 /// decode never sees `-inf` everywhere.
+// hot: GraphNER's final decode, runs per sentence at serve time
 pub fn viterbi_tags(
     node_probs: &[[f64; NUM_TAGS]],
     trans: &[[f64; NUM_TAGS]; NUM_TAGS],

@@ -118,12 +118,16 @@ impl ChainCrf {
 
     /// Transition weight for `prev -> cur` (chain states).
     #[inline]
+    // bound: prev/cur < num_states() and params holds a full
+    // num_states^2 transition block past trans_offset by construction
     pub fn trans_w(&self, prev: usize, cur: usize) -> f64 {
         self.params[self.trans_offset() + prev * self.num_states() + cur]
     }
 
     /// Initial-state weight.
     #[inline]
+    // bound: state < num_states() and params ends with a full
+    // num_states init block starting at init_offset by construction
     pub fn init_w(&self, state: usize) -> f64 {
         self.params[self.init_offset() + state]
     }
@@ -131,6 +135,8 @@ impl ChainCrf {
     /// Unnormalized log node score of `state` at position `i`:
     /// the sum of weights of the observation features firing there,
     /// plus the initial-state weight at position 0.
+    // bound: f < num_obs (debug-asserted) and state < num_states(), so
+    // `f * s + state` stays inside the num_obs*num_states weight block
     pub fn node_log_score(&self, sent: &SentenceFeatures, i: usize, state: usize) -> f64 {
         let s = self.num_states();
         let mut score = 0.0;

@@ -109,6 +109,7 @@ impl StateSpace {
 
     /// Decode a chain-state path back into BIO tags.
     pub fn states_to_tags(&self, states: &[usize]) -> Vec<BioTag> {
+        // alloc: one exact-size result Vec per decoded sentence
         states.iter().map(|&s| BioTag::from_index(self.tag_of(s))).collect()
     }
 }

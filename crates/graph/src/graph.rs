@@ -157,6 +157,8 @@ impl KnnGraph {
 
     /// Out-neighbours of `v` with weights: `N(v)` in the propagation
     /// objective.
+    // bound: v < num_vertices and offsets has num_vertices + 1 slots,
+    // so `v + 1` is always a valid CSR offset index
     pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;

@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Select the `k` best `(id, score)` candidates, descending by score,
 /// ties broken by ascending id.
+// hot: per-vertex candidate selection, runs once per graph vertex
 fn top_k(mut candidates: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
     let by_quality = |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
     if candidates.len() > k {
@@ -62,13 +63,16 @@ fn record_build_metrics(method: &str, adj: &[Vec<(u32, f32)>], candidate_pairs: 
 }
 
 /// Exact k-NN by pairwise cosine over all vertex pairs.
+// hot: O(V^2) pairwise scoring, the graph-build bottleneck
 pub fn knn_brute_force(vectors: &[SparseVec], k: usize) -> KnnGraph {
     assert!(k > 0);
     let n = vectors.len();
     let candidate_pairs = AtomicU64::new(0);
+    // alloc: one adjacency row per vertex, the builder's output
     let adj: Vec<Vec<(u32, f32)>> = (0..n)
         .into_par_iter()
         .map(|i| {
+            // alloc: per-vertex candidate buffer, consumed by top_k
             let mut cands = Vec::new();
             for j in 0..n {
                 if i == j {
@@ -76,6 +80,9 @@ pub fn knn_brute_force(vectors: &[SparseVec], k: usize) -> KnnGraph {
                 }
                 let sim = vectors[i].dot(&vectors[j]);
                 if sim > 0.0 {
+                    // alloc: amortized push into the candidate buffer
+                    // cast: j < n <= u32::MAX vertices and cosine sims
+                    // are in [0, 1] where f32 keeps ranking precision
                     cands.push((j as u32, sim as f32));
                 }
             }
@@ -88,6 +95,7 @@ pub fn knn_brute_force(vectors: &[SparseVec], k: usize) -> KnnGraph {
 }
 
 /// Exact k-NN via an inverted index over features.
+// hot: postings-driven scoring sweep, the default graph builder
 pub fn knn_inverted_index(vectors: &[SparseVec], k: usize) -> KnnGraph {
     assert!(k > 0);
     let n = vectors.len();
@@ -98,17 +106,23 @@ pub fn knn_inverted_index(vectors: &[SparseVec], k: usize) -> KnnGraph {
         .flat_map(|v| v.entries().iter().map(|&(f, _)| f as usize + 1))
         .max()
         .unwrap_or(0);
+    // alloc: one postings list per feature, built once per graph build
     let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); num_features];
     for (i, vec) in vectors.iter().enumerate() {
         for &(f, val) in vec.entries() {
+            // alloc: amortized push into the postings list
+            // cast: i < n <= u32::MAX vertices by the vocab-size guard
             postings[f as usize].push((i as u32, val));
         }
     }
 
     let candidate_pairs = AtomicU64::new(0);
+    // alloc: one adjacency row per vertex, the builder's output
     let adj: Vec<Vec<(u32, f32)>> = (0..n)
         .into_par_iter()
         .map_init(
+            // alloc: per-worker scratch, reused across every vertex a
+            // worker scores — not a per-vertex allocation
             || (vec![0.0f32; n], Vec::<u32>::new()),
             |(scores, touched), i| {
                 for &(f, val) in vectors[i].entries() {
@@ -117,16 +131,19 @@ pub fn knn_inverted_index(vectors: &[SparseVec], k: usize) -> KnnGraph {
                         // bit test, an epsilon would mistake small
                         // accumulated scores for untouched slots
                         if exactly_zero_f32(scores[j as usize]) {
+                            // alloc: amortized push into reused scratch
                             touched.push(j);
                         }
                         scores[j as usize] += val * w;
                     }
                 }
+                // alloc: per-vertex candidate buffer, consumed by top_k
                 let mut cands = Vec::with_capacity(touched.len());
                 for &j in touched.iter() {
                     let s = scores[j as usize];
                     scores[j as usize] = 0.0;
                     if j as usize != i && s > 0.0 {
+                        // alloc: within the with_capacity reservation
                         cands.push((j, s));
                     }
                 }

@@ -76,6 +76,7 @@ impl Default for PropagationParams {
 /// the unsharded reference so both compute identical bits.
 #[inline]
 #[allow(clippy::too_many_arguments)]
+// hot: per-vertex propagation kernel, runs O(V * sweeps) times
 fn jacobi_update(
     graph: &KnnGraph,
     i: usize,
@@ -100,6 +101,7 @@ fn jacobi_update(
             *g += kappa * iy;
         }
     }
+    // cast: vertex ids fit u32 — the graph builder caps V at u32::MAX
     for (nb, w) in graph.neighbors(i as u32) {
         let xw = &x[nb as usize];
         let w = params.mu * w as f64;
@@ -121,6 +123,7 @@ fn jacobi_update(
 /// order-independent, so merging per-shard maxima in shard order gives
 /// the same bits as one global reduction.
 #[allow(clippy::too_many_arguments)]
+// hot: per-shard sweep loop, the propagation engine's inner body
 fn sweep_shard(
     graph: &KnnGraph,
     start: u32,

@@ -41,7 +41,9 @@ pub trait Tagger {
     /// (every tagger in this workspace) may override it with a
     /// parallel or genuinely batched pass, as long as the returned
     /// tags are identical to sentence-by-sentence prediction.
+    // hot: the serving batch entry point every tagger inherits
     fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
+        // alloc: one exact-size result Vec per batch
         sentences.iter().map(|s| self.predict(s)).collect()
     }
 
