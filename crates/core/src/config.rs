@@ -35,6 +35,54 @@ impl GraphFeatureSet {
     }
 }
 
+/// Upper bound on [`ServeConfig::queue_capacity`] and
+/// [`ServeConfig::max_batch`]: beyond a million queued requests or
+/// sentences per flush the knob is a typo, not a tuning choice.
+pub const MAX_SERVE_QUEUE: u64 = 1 << 20;
+/// Upper bound on [`ServeConfig::linger_us`] — one minute. A batcher
+/// that lingers longer than any sane deadline is misconfigured.
+pub const MAX_LINGER_US: u64 = 60_000_000;
+/// Upper bound on [`ServeConfig::deadline_ms`] — one hour.
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
+/// Serving knobs for `graphner-serve`: how deep the request queue runs
+/// before backpressure, how the batcher coalesces, and when a request
+/// expires. Like [`SweepSchedule`] this is a pure execution section —
+/// it describes how the server runs, not what the model learned, so it
+/// is deliberately *not* persisted with a trained model.
+///
+/// Validated by [`GraphNerConfigBuilder::build`]: every knob must be
+/// non-zero ([`ConfigError::ZeroServeKnob`]) and within its cap
+/// ([`ConfigError::ServeKnobOverflow`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded request-queue depth; a full queue answers 429 with
+    /// `Retry-After` instead of buffering without limit.
+    pub queue_capacity: usize,
+    /// Maximum sentences the batcher coalesces into one `tag_batch`
+    /// call before flushing.
+    pub max_batch: usize,
+    /// Maximum microseconds the batcher lingers waiting for more
+    /// requests after the first one arrives; flushing on whichever of
+    /// linger/`max_batch` trips first bounds the latency cost of
+    /// coalescing.
+    pub linger_us: u64,
+    /// Per-request deadline in milliseconds; a request that cannot be
+    /// answered in time gets 503 rather than occupying the queue
+    /// forever.
+    pub deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        // Tuned for the smoke-scale model: a 256-deep queue absorbs
+        // bursts at 500+ RPS, 64-sentence flushes keep the worker pool
+        // busy without head-of-line blocking, 500 µs linger adds well
+        // under the 2 s deadline.
+        ServeConfig { queue_capacity: 256, max_batch: 64, linger_us: 500, deadline_ms: 2_000 }
+    }
+}
+
 /// Full GraphNER configuration: the interpolation weight α, the
 /// propagation hyper-parameters (μ, ν, #iterations), the graph degree
 /// K, and the vertex representation.
@@ -86,6 +134,11 @@ pub struct GraphNerConfig {
     /// and the schedule is deliberately *not* persisted with a trained
     /// model: it describes how to run, not what was learned.
     pub schedule: SweepSchedule,
+    /// Serving knobs (queue depth, batching, deadlines) for
+    /// `graphner-serve`. Another pure execution section: not persisted,
+    /// never affects what the model predicts — only how fast and under
+    /// what backpressure policy.
+    pub serve: ServeConfig,
 }
 
 impl Default for GraphNerConfig {
@@ -101,6 +154,7 @@ impl Default for GraphNerConfig {
             trans_add_k: 0.1,
             trans_ratio_cap: 3.0,
             schedule: SweepSchedule::default(),
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -142,6 +196,23 @@ pub enum ConfigError {
     /// `shard_size = Fixed(0)`: a zero-vertex shard cannot tile the
     /// vertex range.
     ZeroShardSize,
+    /// A [`ServeConfig`] knob is zero: a zero-capacity queue rejects
+    /// everything, a zero-sentence batch never flushes, a zero linger
+    /// degenerates, and a zero deadline expires every request on
+    /// arrival.
+    ZeroServeKnob {
+        /// Which serving knob.
+        name: &'static str,
+    },
+    /// A [`ServeConfig`] knob exceeds its sanity cap.
+    ServeKnobOverflow {
+        /// Which serving knob.
+        name: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -165,6 +236,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroShardSize => {
                 write!(f, "shard_size must be >= 1 vertex (or ShardSize::Auto)")
+            }
+            ConfigError::ZeroServeKnob { name } => {
+                write!(f, "serve.{name} must be >= 1")
+            }
+            ConfigError::ServeKnobOverflow { name, value, max } => {
+                write!(f, "serve.{name} = {value} exceeds the sanity cap {max}")
             }
         }
     }
@@ -264,6 +341,36 @@ impl GraphNerConfigBuilder {
         self
     }
 
+    /// Replace the whole serving section at once.
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.cfg.serve = serve;
+        self
+    }
+
+    /// Bounded request-queue depth for `graphner-serve`.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.cfg.serve.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Maximum sentences per batcher flush.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.serve.max_batch = max_batch;
+        self
+    }
+
+    /// Maximum microseconds the batcher lingers for more requests.
+    pub fn linger_us(mut self, linger_us: u64) -> Self {
+        self.cfg.serve.linger_us = linger_us;
+        self
+    }
+
+    /// Per-request deadline in milliseconds.
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.cfg.serve.deadline_ms = deadline_ms;
+        self
+    }
+
     /// Validate the accumulated configuration.
     pub fn build(self) -> Result<GraphNerConfig, ConfigError> {
         let cfg = self.cfg;
@@ -298,6 +405,20 @@ impl GraphNerConfigBuilder {
         }
         if cfg.schedule.shard_size == ShardSize::Fixed(0) {
             return Err(ConfigError::ZeroShardSize);
+        }
+        let serve = &cfg.serve;
+        for (name, value, max) in [
+            ("queue_capacity", serve.queue_capacity as u64, MAX_SERVE_QUEUE),
+            ("max_batch", serve.max_batch as u64, MAX_SERVE_QUEUE),
+            ("linger_us", serve.linger_us, MAX_LINGER_US),
+            ("deadline_ms", serve.deadline_ms, MAX_DEADLINE_MS),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroServeKnob { name });
+            }
+            if value > max {
+                return Err(ConfigError::ServeKnobOverflow { name, value, max });
+            }
         }
         Ok(cfg)
     }
@@ -430,6 +551,84 @@ mod tests {
         // the schedule is an execution knob: it never affects equality
         // of the *learned* configuration fields
         assert_eq!(tuned.alpha, c.alpha);
+    }
+
+    #[test]
+    fn serve_section_defaults_and_builder_overrides() {
+        let c = GraphNerConfig::default();
+        assert_eq!(c.serve, ServeConfig::default());
+        assert_eq!(c.serve.queue_capacity, 256);
+        assert_eq!(c.serve.max_batch, 64);
+        let tuned = GraphNerConfig::builder()
+            .queue_capacity(32)
+            .max_batch(8)
+            .linger_us(250)
+            .deadline_ms(500)
+            .build()
+            .expect("valid serve section");
+        assert_eq!(
+            tuned.serve,
+            ServeConfig { queue_capacity: 32, max_batch: 8, linger_us: 250, deadline_ms: 500 }
+        );
+        // the serve section is an execution knob: learned fields untouched
+        assert_eq!(tuned.alpha, c.alpha);
+        let whole = GraphNerConfig::builder()
+            .serve(ServeConfig { queue_capacity: 1, max_batch: 1, linger_us: 1, deadline_ms: 1 })
+            .build()
+            .expect("minimal serve section is valid");
+        assert_eq!(whole.serve.queue_capacity, 1);
+    }
+
+    #[test]
+    fn builder_rejects_zero_and_overflowing_serve_knobs() {
+        assert_eq!(
+            GraphNerConfig::builder().queue_capacity(0).build(),
+            Err(ConfigError::ZeroServeKnob { name: "queue_capacity" })
+        );
+        assert_eq!(
+            GraphNerConfig::builder().max_batch(0).build(),
+            Err(ConfigError::ZeroServeKnob { name: "max_batch" })
+        );
+        assert_eq!(
+            GraphNerConfig::builder().linger_us(0).build(),
+            Err(ConfigError::ZeroServeKnob { name: "linger_us" })
+        );
+        assert_eq!(
+            GraphNerConfig::builder().deadline_ms(0).build(),
+            Err(ConfigError::ZeroServeKnob { name: "deadline_ms" })
+        );
+        assert_eq!(
+            GraphNerConfig::builder().linger_us(MAX_LINGER_US + 1).build(),
+            Err(ConfigError::ServeKnobOverflow {
+                name: "linger_us",
+                value: MAX_LINGER_US + 1,
+                max: MAX_LINGER_US,
+            })
+        );
+        assert_eq!(
+            GraphNerConfig::builder().deadline_ms(MAX_DEADLINE_MS + 1).build(),
+            Err(ConfigError::ServeKnobOverflow {
+                name: "deadline_ms",
+                value: MAX_DEADLINE_MS + 1,
+                max: MAX_DEADLINE_MS,
+            })
+        );
+        assert_eq!(
+            GraphNerConfig::builder().queue_capacity((MAX_SERVE_QUEUE + 1) as usize).build(),
+            Err(ConfigError::ServeKnobOverflow {
+                name: "queue_capacity",
+                value: MAX_SERVE_QUEUE + 1,
+                max: MAX_SERVE_QUEUE,
+            })
+        );
+        // caps themselves are accepted
+        assert!(GraphNerConfig::builder().linger_us(MAX_LINGER_US).build().is_ok());
+        // error messages name the knob
+        let msg = ConfigError::ZeroServeKnob { name: "max_batch" }.to_string();
+        assert!(msg.contains("max_batch"));
+        let msg =
+            ConfigError::ServeKnobOverflow { name: "linger_us", value: 999, max: 10 }.to_string();
+        assert!(msg.contains("linger_us") && msg.contains("999"));
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod pipeline;
 pub mod stats;
 pub mod timings;
 
-pub use config::{ConfigError, GraphFeatureSet, GraphNerConfig, GraphNerConfigBuilder};
+pub use config::{
+    ConfigError, GraphFeatureSet, GraphNerConfig, GraphNerConfigBuilder, ServeConfig,
+};
 // the propagation-schedule knobs carried on `GraphNerConfig`, re-exported
 // so builder users need not depend on graphner-graph directly
 pub use graphbuild::{build_graph, build_vertex_vectors, feature_tag_mi, knn_from_vectors};

@@ -169,10 +169,11 @@ fn get_config<R: Read>(r: &mut R) -> Result<GraphNerConfig, PersistError> {
         trans_power: get_f64(r)?,
         trans_add_k: get_f64(r)?,
         trans_ratio_cap: get_f64(r)?,
-        // the sweep schedule is a runtime execution knob, not a learned
-        // quantity: it is never serialized, and a loaded model runs
-        // under the default (unsharded-identical) schedule
+        // the sweep schedule and the serve section are runtime
+        // execution knobs, not learned quantities: they are never
+        // serialized, and a loaded model runs under the defaults
         schedule: Default::default(),
+        serve: Default::default(),
     })
 }
 

@@ -37,8 +37,11 @@ use crate::timings::{stage, TestTimings};
 use graphner_banner::NerModel;
 use graphner_crf::viterbi_tags;
 use graphner_graph::{propagate_partitioned, KnnGraph, LabelDist, Partition, SparseVec, UNIFORM};
-use graphner_obs::{attr, obs_summary, span, with_capture};
-use graphner_text::{BioTag, Corpus, Sentence, Tagger, TrigramInterner, NUM_TAGS};
+use graphner_obs::{attr, counter, obs_summary, span, with_capture};
+use graphner_text::{
+    check_posteriors_finite, validate_sentences, BioTag, Corpus, Sentence, TagError, Tagger,
+    TrigramInterner, NUM_TAGS,
+};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
@@ -214,7 +217,8 @@ fn combined_beliefs(
     x: &[LabelDist],
     alpha: f64,
 ) -> Vec<LabelDist> {
-    (0..sentence.len())
+    let mut fallbacks = 0u64;
+    let combined = (0..sentence.len())
         .map(|i| match interner.lookup_at(sentence, i) {
             Some(v) => {
                 let xv = &x[v as usize];
@@ -224,9 +228,20 @@ fn combined_beliefs(
                 }
                 d
             }
-            None => post[i],
+            None => {
+                fallbacks += 1;
+                post[i]
+            }
         })
-        .collect()
+        .collect();
+    if fallbacks > 0 {
+        // Novel-trigram fallbacks were invisible to metrics; the serve
+        // path divides this counter by `serve.tokens` for its
+        // fallback-rate gauge. One batched add per sentence keeps the
+        // common transductive case (zero fallbacks) free of atomics.
+        counter("serve.fallback").add(fallbacks);
+    }
+    combined
 }
 
 /// Lines 8–9 for a single sentence.
@@ -538,6 +553,40 @@ impl Tagger for GraphTagger {
         attr("pool.chunks", delta.chunks_executed);
         attr("pool.chunks_on_workers", delta.chunks_on_workers);
         out
+    }
+
+    /// Fallible batch path with the same fan-out as `tag_batch`: each
+    /// sentence computes its base-CRF posteriors once, checks them for
+    /// non-finite entries, and decodes from that same posterior slice —
+    /// so a clean batch produces tags byte-identical to `tag_batch`.
+    /// The order-preserving collect plus the sequential error scan
+    /// below make the reported error the lowest offending batch index
+    /// at any thread count.
+    fn try_tag_batch(&self, sentences: &[Sentence]) -> Result<Vec<Vec<BioTag>>, TagError> {
+        validate_sentences(sentences)?;
+        let _s = span("serve.tag_batch");
+        attr("batch.sentences", sentences.len());
+        let per: Vec<Result<Vec<BioTag>, TagError>> = sentences
+            .par_iter()
+            .enumerate()
+            .map(|(index, s)| {
+                let post = self.base.posteriors(s);
+                check_posteriors_finite(index, &post)?;
+                Ok(combine_and_decode(
+                    s,
+                    &post,
+                    &self.interner,
+                    &self.x,
+                    self.alpha,
+                    &self.transitions,
+                ))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(per.len());
+        for r in per {
+            out.push(r?);
+        }
+        Ok(out)
     }
 }
 

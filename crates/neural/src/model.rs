@@ -12,7 +12,10 @@
 use crate::crf_layer::CrfLayer;
 use crate::lstm::BiLstm;
 use graphner_text::sentence::tags_to_mentions;
-use graphner_text::{exactly_zero, is_zero, BioTag, Corpus, Sentence, Tagger, Vocab, NUM_TAGS};
+use graphner_text::{
+    check_posteriors_finite, exactly_zero, is_zero, validate_sentences, BioTag, Corpus, Sentence,
+    TagError, Tagger, Vocab, NUM_TAGS,
+};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -326,6 +329,29 @@ impl Tagger for TrainedLstmCrf {
     fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
         use rayon::prelude::*;
         sentences.par_iter().map(|s| TrainedLstmCrf::predict(self, s)).collect()
+    }
+
+    /// Fallible batch path with the same fan-out as `tag_batch`, plus a
+    /// per-sentence finiteness check on the CRF-layer marginals. The
+    /// order-preserving collect means the sequential error scan below
+    /// always reports the lowest offending batch index, so the outcome
+    /// is deterministic at any thread count.
+    fn try_tag_batch(&self, sentences: &[Sentence]) -> Result<Vec<Vec<BioTag>>, TagError> {
+        validate_sentences(sentences)?;
+        use rayon::prelude::*;
+        let per: Vec<Result<Vec<BioTag>, TagError>> = sentences
+            .par_iter()
+            .enumerate()
+            .map(|(index, s)| {
+                check_posteriors_finite(index, &TrainedLstmCrf::posteriors(self, s))?;
+                Ok(TrainedLstmCrf::predict(self, s))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(per.len());
+        for r in per {
+            out.push(r?);
+        }
+        Ok(out)
     }
 }
 

@@ -1,0 +1,234 @@
+//! A deliberately minimal HTTP/1.1 codec — just enough protocol for
+//! `POST /v1/tag`, `GET /healthz`, and `GET /metrics` over keep-alive
+//! connections, per the workspace's zero-dependency policy.
+//!
+//! Supported: request line + headers, `Content-Length` bodies (capped
+//! at [`MAX_BODY_BYTES`]), `Connection: close`. Not supported (and
+//! answered with an error rather than misparsed): chunked transfer
+//! encoding, continuation lines, bodies above the cap.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest request body accepted — 1 MiB of newline-delimited
+/// sentences is far beyond any sane tagging request and keeps one
+/// client from ballooning server memory.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parse/transport failure while reading one request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (includes read timeouts).
+    Io(io::Error),
+    /// The peer closed the connection cleanly between requests.
+    Eof,
+    /// Structurally invalid request; the message names the defect.
+    Malformed(&'static str),
+    /// `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Eof => write!(f, "connection closed"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (no query parsing; the server's routes
+    /// carry none).
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, empty unless `Content-Length` said otherwise.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, without the ending.
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::Eof);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Parse one request off the wire. Blocks until a full request (or the
+/// reader's own timeout) arrives; [`HttpError::Eof`] on a connection
+/// the peer closed between requests.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err(HttpError::Malformed("request line needs METHOD PATH VERSION")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("only HTTP/1.x is spoken here"));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line without a colon"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request { method, path, headers, body: Vec::new() };
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Err(HttpError::Malformed("unparseable content-length")),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { body, ..request })
+}
+
+/// Reason phrase for the handful of statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response, always with an explicit `Content-Length` so
+/// keep-alive framing stays unambiguous. The whole response is
+/// assembled first and written in one call: one packet per response
+/// instead of a header/body dribble that trips Nagle + delayed-ACK
+/// stalls on the 40 ms scale.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut response = Vec::with_capacity(128 + body.len());
+    let _ = write!(response, "HTTP/1.1 {} {}\r\n", status, reason(status));
+    let _ = write!(response, "Content-Length: {}\r\n", body.len());
+    let _ = write!(response, "Content-Type: text/plain; charset=utf-8\r\n");
+    for (name, value) in extra_headers {
+        let _ = write!(response, "{name}: {value}\r\n");
+    }
+    let _ = write!(response, "\r\n");
+    response.extend_from_slice(body);
+    writer.write_all(&response)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/tag HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\nthe WT1 g";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/tag");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"the WT1 g");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_bare_lf_and_connection_close() {
+        let raw = b"GET /healthz HTTP/1.0\nConnection: close\n\n";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(parse(b""), Err(HttpError::Eof)));
+        assert!(matches!(parse(b"nonsense\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET / SPDY/3\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(raw.as_bytes()), Err(HttpError::BodyTooLarge(_))));
+    }
+
+    #[test]
+    fn response_carries_length_and_extra_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &[("Retry-After", "1")], b"busy\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\nbusy\n"));
+    }
+}

@@ -33,6 +33,8 @@ pub use sentence::{Mention, Sentence};
 pub use shape::{brief_shape, word_shape};
 pub use stem::lemma;
 pub use tag::{BioTag, NUM_TAGS};
-pub use tagger::Tagger;
+pub use tagger::{
+    check_posteriors_finite, validate_sentences, TagError, Tagger, MAX_SENTENCE_TOKENS,
+};
 pub use tokenize::tokenize;
 pub use vocab::Vocab;

@@ -14,6 +14,99 @@ use crate::corpus::Corpus;
 use crate::sentence::Sentence;
 use crate::tag::{BioTag, NUM_TAGS};
 
+/// Hard cap on the tokens a single sentence may carry through the
+/// fallible tagging path. The trained models are all linear in sentence
+/// length, but serving-path memory is not unbounded: a request carrying
+/// a megabyte on one line would otherwise allocate lattices and
+/// posterior rows to match. Biomedical sentences run a few dozen
+/// tokens; 512 is far above anything a real corpus produces.
+pub const MAX_SENTENCE_TOKENS: usize = 512;
+
+/// A rejected fallible-tagging call: which sentence of the batch was
+/// unusable and why. The infallible [`Tagger::tag_batch`] path keeps
+/// its panic-free-by-invariant contract for trusted corpora; this type
+/// is how the same models refuse *adversarial* input (an empty request
+/// line, a pathologically long sentence, a numerically broken
+/// posterior) at the API boundary instead of deep inside a decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TagError {
+    /// Sentence `index` of the batch has zero tokens. Batch taggers
+    /// treat empty sentences as empty outputs, but a serving request
+    /// with an empty line is almost always a malformed payload, so the
+    /// fallible path surfaces it instead of silently returning nothing.
+    EmptySentence {
+        /// Batch position of the offending sentence.
+        index: usize,
+    },
+    /// Sentence `index` exceeds [`MAX_SENTENCE_TOKENS`].
+    SentenceTooLong {
+        /// Batch position of the offending sentence.
+        index: usize,
+        /// Its token count.
+        tokens: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The model produced a non-finite posterior entry for token
+    /// `token` of sentence `index` — numerically broken weights or
+    /// input, detected before it can poison a decode.
+    NonFinitePosterior {
+        /// Batch position of the offending sentence.
+        index: usize,
+        /// Token position within the sentence.
+        token: usize,
+    },
+}
+
+impl std::fmt::Display for TagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TagError::EmptySentence { index } => {
+                write!(f, "sentence {index} is empty")
+            }
+            TagError::SentenceTooLong { index, tokens, max } => {
+                write!(f, "sentence {index} has {tokens} tokens (cap {max})")
+            }
+            TagError::NonFinitePosterior { index, token } => {
+                write!(f, "non-finite posterior at sentence {index}, token {token}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TagError {}
+
+/// Shape-validate a batch for the fallible tagging path: every sentence
+/// non-empty and within [`MAX_SENTENCE_TOKENS`]. Returns the error of
+/// the lowest offending batch index, so the outcome is deterministic
+/// regardless of how a tagger parallelizes the work that follows.
+pub fn validate_sentences(sentences: &[Sentence]) -> Result<(), TagError> {
+    for (index, sentence) in sentences.iter().enumerate() {
+        if sentence.is_empty() {
+            return Err(TagError::EmptySentence { index });
+        }
+        if sentence.len() > MAX_SENTENCE_TOKENS {
+            return Err(TagError::SentenceTooLong {
+                index,
+                tokens: sentence.len(),
+                max: MAX_SENTENCE_TOKENS,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Scan one sentence's posterior rows for a non-finite entry; `index`
+/// names the sentence's batch position in the error.
+pub fn check_posteriors_finite(index: usize, rows: &[[f64; NUM_TAGS]]) -> Result<(), TagError> {
+    for (token, row) in rows.iter().enumerate() {
+        if row.iter().any(|p| !p.is_finite()) {
+            return Err(TagError::NonFinitePosterior { index, token });
+        }
+    }
+    Ok(())
+}
+
 /// A trained sequence tagger over the BIO tag set.
 ///
 /// Implementations must satisfy two invariants for non-empty sentences:
@@ -47,6 +140,24 @@ pub trait Tagger {
         sentences.iter().map(|s| self.predict(s)).collect()
     }
 
+    /// Fallible batch prediction — the request-path twin of
+    /// [`tag_batch`](Tagger::tag_batch). Where `tag_batch` trusts its
+    /// caller (benchmark corpora, evaluation splits) and upholds the
+    /// trait invariants by construction, `try_tag_batch` treats the
+    /// batch as untrusted input: it shape-validates every sentence
+    /// ([`validate_sentences`]) and returns a typed [`TagError`]
+    /// instead of panicking or silently degenerating.
+    ///
+    /// On a batch that passes validation the result is **identical**
+    /// to `tag_batch` — implementations overriding this method (to add
+    /// posterior-finiteness checks or parallelism) must preserve that,
+    /// so serving through the fallible path stays byte-identical to
+    /// offline tagging.
+    fn try_tag_batch(&self, sentences: &[Sentence]) -> Result<Vec<Vec<BioTag>>, TagError> {
+        validate_sentences(sentences)?;
+        Ok(self.tag_batch(sentences))
+    }
+
     /// Predict every sentence of a corpus, in corpus order.
     fn predict_corpus(&self, corpus: &Corpus) -> Vec<Vec<BioTag>> {
         self.tag_batch(&corpus.sentences)
@@ -68,6 +179,10 @@ impl<T: Tagger + ?Sized> Tagger for &T {
 
     fn tag_batch(&self, sentences: &[Sentence]) -> Vec<Vec<BioTag>> {
         (**self).tag_batch(sentences)
+    }
+
+    fn try_tag_batch(&self, sentences: &[Sentence]) -> Result<Vec<Vec<BioTag>>, TagError> {
+        (**self).try_tag_batch(sentences)
     }
 
     fn predict_corpus(&self, corpus: &Corpus) -> Vec<Vec<BioTag>> {
@@ -114,6 +229,72 @@ mod tests {
         ]);
         let preds = tagger.predict_corpus(&corpus);
         assert_eq!(preds, vec![vec![O, B], vec![O]]);
+    }
+
+    #[test]
+    fn try_tag_batch_matches_tag_batch_on_valid_input() {
+        let tagger = DigitTagger;
+        let batch = vec![
+            Sentence::unlabelled("a", vec!["the".into(), "WT1".into()]),
+            Sentence::unlabelled("b", vec!["no".into()]),
+        ];
+        assert_eq!(tagger.try_tag_batch(&batch).unwrap(), tagger.tag_batch(&batch));
+    }
+
+    #[test]
+    fn try_tag_batch_rejects_empty_and_oversized_sentences() {
+        let tagger = DigitTagger;
+        let batch = vec![
+            Sentence::unlabelled("ok", vec!["fine".into()]),
+            Sentence::unlabelled("empty", vec![]),
+        ];
+        assert_eq!(tagger.try_tag_batch(&batch), Err(TagError::EmptySentence { index: 1 }));
+
+        let long = Sentence::unlabelled("long", vec!["t".to_string(); MAX_SENTENCE_TOKENS + 1]);
+        assert_eq!(
+            tagger.try_tag_batch(&[long]),
+            Err(TagError::SentenceTooLong {
+                index: 0,
+                tokens: MAX_SENTENCE_TOKENS + 1,
+                max: MAX_SENTENCE_TOKENS,
+            })
+        );
+        // exactly at the cap is fine
+        let at_cap = Sentence::unlabelled("cap", vec!["t".to_string(); MAX_SENTENCE_TOKENS]);
+        assert!(tagger.try_tag_batch(&[at_cap]).is_ok());
+    }
+
+    #[test]
+    fn validation_reports_the_lowest_offending_index() {
+        let batch = vec![
+            Sentence::unlabelled("ok", vec!["fine".into()]),
+            Sentence::unlabelled("e1", vec![]),
+            Sentence::unlabelled("e2", vec![]),
+        ];
+        assert_eq!(validate_sentences(&batch), Err(TagError::EmptySentence { index: 1 }));
+    }
+
+    #[test]
+    fn posterior_finiteness_check_names_the_token() {
+        let mut rows = vec![[0.5, 0.25, 0.25]; 3];
+        assert!(check_posteriors_finite(7, &rows).is_ok());
+        rows[2][1] = f64::NAN;
+        assert_eq!(
+            check_posteriors_finite(7, &rows),
+            Err(TagError::NonFinitePosterior { index: 7, token: 2 })
+        );
+        rows[2][1] = f64::INFINITY;
+        assert!(check_posteriors_finite(7, &rows).is_err());
+    }
+
+    #[test]
+    fn tag_error_messages_name_the_sentence() {
+        assert!(TagError::EmptySentence { index: 3 }.to_string().contains('3'));
+        let long = TagError::SentenceTooLong { index: 0, tokens: 600, max: 512 };
+        assert!(long.to_string().contains("600"));
+        assert!(long.to_string().contains("512"));
+        let nf = TagError::NonFinitePosterior { index: 1, token: 4 }.to_string();
+        assert!(nf.contains("non-finite"));
     }
 
     #[test]

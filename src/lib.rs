@@ -25,6 +25,8 @@
 //! * [`corpusgen`] — seeded synthetic biomedical corpora;
 //! * [`eval`] — BC2 scoring, sigf, chi-square, UpSet;
 //! * [`core`] — GraphNER itself (Algorithm 1 of the paper);
+//! * [`serve`] — the online tagging service (request batching,
+//!   backpressure, `graphner-serve` + `loadgen` binaries);
 //! * [`obs`] — zero-dependency spans, metrics, and logging
 //!   (`GRAPHNER_LOG=off|summary|debug`).
 //!
@@ -49,14 +51,15 @@ pub mod prelude {
     pub use graphner_banner::NerConfig;
     pub use graphner_core::{
         annotations_from_predictions, load_model, save_model, ConfigError, GraphNer,
-        GraphNerConfig, GraphNerConfigBuilder, GraphTagger, ShardSize, SweepSchedule, TestOutput,
-        TestSession,
+        GraphNerConfig, GraphNerConfigBuilder, GraphTagger, ServeConfig, ShardSize, SweepSchedule,
+        TestOutput, TestSession,
     };
     pub use graphner_corpusgen::{generate, CorpusProfile};
     pub use graphner_crf::TrainConfig;
     pub use graphner_eval::{evaluate, evaluate_tagger, Evaluation};
+    pub use graphner_serve::{render_tags, start as start_server, ServerHandle};
     pub use graphner_text::sentence::{mentions_to_tags, tags_to_mentions};
-    pub use graphner_text::{tokenize, BioTag, Corpus, Mention, Sentence, Tagger};
+    pub use graphner_text::{tokenize, BioTag, Corpus, Mention, Sentence, TagError, Tagger};
 }
 
 pub use graphner_banner as banner;
@@ -68,4 +71,5 @@ pub use graphner_eval as eval;
 pub use graphner_graph as graph;
 pub use graphner_neural as neural;
 pub use graphner_obs as obs;
+pub use graphner_serve as serve;
 pub use graphner_text as text;
